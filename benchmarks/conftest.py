@@ -1,0 +1,32 @@
+"""Benchmark fixtures.
+
+One pipeline (datagen -> train -> benchmark -> evaluate all models) is
+built per session and shared by every bench; each bench then regenerates
+its table/figure from the cached results and prints it next to the paper's
+numbers.  Scale via REPRO_BENCH_DESIGNS (default 80 designs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.api import PipelineConfig, shared_pipeline
+
+BENCH_DESIGNS = int(os.environ.get("REPRO_BENCH_DESIGNS", "80"))
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    config = PipelineConfig(n_designs=BENCH_DESIGNS, bugs_per_design=4,
+                            seed=2025, n_samples=20, include_human=True,
+                            include_baselines=True)
+    p = shared_pipeline(config)
+    p.evaluate()
+    return p
+
+
+@pytest.fixture(scope="session")
+def results(pipeline):
+    return pipeline.evaluate()

@@ -1,0 +1,35 @@
+"""Table II — SVA-Bug / SVA-Eval distribution across length bins and bug
+types, regenerated from the live pipeline and printed beside the paper's
+counts (ratio shapes are asserted; absolute counts scale with config)."""
+
+from repro.eval.reporting import render_table2
+
+
+def test_table2_distribution(benchmark, pipeline):
+    bundle = pipeline.run_datagen()
+
+    def render():
+        return render_table2(bundle.stats["sva_bug_distribution"],
+                             bundle.stats["sva_eval_distribution"])
+
+    table = benchmark(render)
+    print("\n" + table)
+
+    train = bundle.stats["sva_bug_distribution"]
+    # Paper shape: Value-heavy kinds, Non_cond majority, short-code majority.
+    assert train.get("Value", 0) > train.get("Var", 0)
+    assert train.get("Non_cond", 0) > train.get("Cond", 0)
+    assert train.get("(0, 50]", 0) >= train.get("(150, 200]", 0)
+
+
+def test_table2_split_ratio(benchmark, pipeline):
+    bundle = pipeline.run_datagen()
+
+    def ratio():
+        train = len(bundle.sva_bug_train)
+        test = len(bundle.sva_eval_machine)
+        return train / max(train + test, 1)
+
+    value = benchmark(ratio)
+    print(f"\ntrain fraction: {value:.2%} (paper: 90%)")
+    assert 0.7 <= value <= 0.98

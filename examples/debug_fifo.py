@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Domain scenario: debugging a FIFO occupancy tracker.
+
+Walks the full verification loop a user would run on their own design:
+
+1. write RTL + SVAs for a FIFO occupancy tracker,
+2. inject a realistic bug (guard dropped on the pop path),
+3. get the failure log + counterexample from the bounded checker,
+4. enumerate the repair space and rank it with a trained AssertSolver,
+5. semantically re-verify the top suggestion by patching and re-checking
+   (an extension over the paper's text-match scoring).
+
+Run:  python examples/debug_fifo.py
+"""
+
+from repro.core.api import AssertSolverPipeline, PipelineConfig
+from repro.eval.runner import semantic_check
+from repro.model.assertsolver import Problem
+from repro.model.candidates import enumerate_repairs
+from repro.oracles.spec import write_spec
+from repro.sva.bmc import BmcConfig, bounded_check
+from repro.verilog.compile import compile_source
+from repro.verilog.writer import write_module
+
+FIFO = """
+module fifo_track (
+  input clk,
+  input rst_n,
+  input push,
+  input pop,
+  output reg [3:0] count,
+  output wire full,
+  output wire empty
+);
+  assign full = count == 4'd8;
+  assign empty = count == 4'd0;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) count <= 4'd0;
+    else if (push && !pop && !full) count <= count + 4'd1;
+    else if (pop && !push && !empty) count <= count + 4'd1;   // BUG: copy-paste '+' on the pop path
+  end
+  property count_bounded;
+    @(posedge clk) disable iff (!rst_n) count <= 4'd8;
+  endproperty
+  count_bounded_assertion: assert property (count_bounded) else $error("occupancy exceeded the depth");
+  property pop_guarded;
+    @(posedge clk) disable iff (!rst_n) pop && !push && empty |-> ##1 count == 4'd0;
+  endproperty
+  pop_guarded_assertion: assert property (pop_guarded) else $error("pop from empty must not underflow");
+endmodule
+"""
+
+
+def main():
+    result = compile_source(FIFO)
+    assert result.ok, result.failure_summary()
+    canonical = write_module(result.module)
+
+    check = bounded_check(result.design, BmcConfig(depth=16, random_trials=48))
+    assert check.failed, "the copy-paste bug must overflow the FIFO"
+    print("=== failure logs ===")
+    print(check.log_text())
+    print()
+
+    # A verification engineer's view of the repair space.
+    space = enumerate_repairs(canonical)
+    print(f"repair-candidate space: {len(space)} single-line edits")
+    print()
+
+    pipeline = AssertSolverPipeline(PipelineConfig(
+        n_designs=40, bugs_per_design=3, seed=13, include_human=False,
+        include_baselines=False))
+    solver = pipeline.train()
+
+    spec = write_spec(canonical, None, "fifo_track")
+    problem = Problem(spec, canonical, check.log_text())
+    responses = solver.generate(problem, n=30, temperature=1.5)
+
+    print("=== distinct suggestions (30 samples at T=1.5, each re-verified) ===")
+    import types
+
+    class _CaseShim:
+        """Minimal case wrapper for semantic_check."""
+        def __init__(self, source):
+            self.entry = types.SimpleNamespace(buggy_source_with_sva=source)
+
+    seen = set()
+    for response in responses:
+        key = (response.line, response.fix)
+        if key in seen:
+            continue
+        seen.add(key)
+        verified = semantic_check(response, _CaseShim(canonical),
+                                  BmcConfig(depth=16, random_trials=48))
+        tag = "VERIFIED by re-checking" if verified else "rejected by re-check"
+        print(f"  line {response.line}: {response.fix}   [{tag}]")
+    print()
+    print("golden fix: 'count <= count - 4'd1;' on the pop path")
+
+
+if __name__ == "__main__":
+    main()

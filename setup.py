@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) uses this shim instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,39 @@
+"""repro — reproduction of AssertSolver (DAC 2025).
+
+AssertSolver is an LLM pipeline for solving SystemVerilog Assertion (SVA)
+failures in RTL designs.  This package rebuilds the full system described in
+the paper on a pure-Python substrate:
+
+- :mod:`repro.verilog` — a compiler frontend for a synthesizable Verilog
+  subset (substitute for Icarus Verilog).
+- :mod:`repro.sim` — a cycle-based RTL simulator with 4-state values.
+- :mod:`repro.sva` — SVA parsing, runtime monitors and a bounded model
+  checker (substitute for SymbiYosys).
+- :mod:`repro.corpus` — a parameterized generator of realistic RTL designs
+  (substitute for the paper's 108,971-sample HuggingFace corpus).
+- :mod:`repro.bugs` — the 7-type bug taxonomy of the paper's Table I and the
+  mutation engine that injects/classifies bugs.
+- :mod:`repro.oracles` — rule-based surrogates for the GPT-4 / Claude-3.5
+  annotators (spec writing, SVA synthesis, CoT generation) with controlled
+  imperfection so the validation stages are exercised.
+- :mod:`repro.datagen` — the three-stage data augmentation pipeline
+  producing the Verilog-PT / Verilog-Bug / SVA-Bug datasets.
+- :mod:`repro.model` — the trainable AssertSolver surrogate (PT -> SFT ->
+  DPO) and its sampling-based inference.
+- :mod:`repro.baselines` — surrogate engines for the commercial/open LLMs
+  compared in the paper's Table IV.
+- :mod:`repro.eval` — the SVA-Eval benchmark, pass@k metrics and the
+  experiment runners that regenerate every table and figure.
+"""
+
+__all__ = ["AssertSolverPipeline", "PipelineConfig"]
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy re-exports so importing :mod:`repro` stays cheap."""
+    if name in ("AssertSolverPipeline", "PipelineConfig"):
+        from repro.core import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

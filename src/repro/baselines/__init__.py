@@ -1,0 +1,17 @@
+"""Surrogate baseline models for the paper's Table IV comparison.
+
+The paper compares AssertSolver with closed-source (Claude-3.5, GPT-4,
+o1-preview) and open-source (CodeLlama-7b, Llama-3.1-8b,
+Deepseek-Coder-6.7b) models.  None of them can run offline, so each is
+modelled as a *capability profile* (documented in DESIGN.md): a per-case
+knows/doesn't-know draw driven by case difficulty (bug type, code length,
+human origin) plus per-draw correctness, diversity and JSON-format
+compliance rates.  Profiles are calibrated so the published relative
+standings hold; absolute numbers are surrogate-calibrated, which
+EXPERIMENTS.md states explicitly next to every table.
+"""
+
+from repro.baselines.engine import BaselineModel
+from repro.baselines.profiles import BASELINE_PROFILES, BaselineProfile, get_profile
+
+__all__ = ["BaselineModel", "BaselineProfile", "BASELINE_PROFILES", "get_profile"]

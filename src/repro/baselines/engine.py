@@ -1,0 +1,120 @@
+"""The baseline inference engine.
+
+Given an SVA-Eval case, a profile draws — deterministically per
+(model, case) via a hash-seeded RNG, so results are reproducible across
+runs and machines — whether the model "knows" the case, then samples n
+responses:
+
+- known + per-draw success  -> the golden (line, fix);
+- failure                   -> a plausible wrong answer: another line in
+  the failing assertion's cone with a superficial edit (what a wrong LLM
+  answer actually looks like);
+- format error              -> an unparseable response (always judged
+  incorrect), modelling the JSON-compliance problems the paper reports
+  for open-source models.
+
+The engine *does* read the golden solution — these are surrogates whose
+purpose is to reproduce the comparative structure of Table IV, not
+independent solvers; DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import re
+from typing import List, Optional
+
+from repro.baselines.profiles import BaselineProfile, case_difficulty, sigmoid
+from repro.bugs.taxonomy import LENGTH_BINS
+from repro.datagen.records import SvaEvalCase
+from repro.model.assertsolver import SolverResponse
+
+_EDIT_SWAPS = [("==", "!="), ("&&", "||"), ("+", "-"), ("<", ">"),
+               ("&", "|"), ("1'b1", "1'b0")]
+
+
+class BaselineModel:
+    """One surrogate baseline bound to a profile."""
+
+    def __init__(self, profile: BaselineProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # -- determinism ---------------------------------------------------------
+
+    def _case_rng(self, case: SvaEvalCase) -> random.Random:
+        digest = hashlib.md5(
+            f"{self.profile.name}|{case.case_id}|{self.seed}".encode()
+        ).hexdigest()
+        return random.Random(int(digest[:12], 16))
+
+    # -- inference -------------------------------------------------------------
+
+    def knows_case(self, case: SvaEvalCase, rng: random.Random) -> bool:
+        entry = case.entry
+        bin_index = LENGTH_BINS.index(entry.length_bin())
+        difficulty = case_difficulty(
+            kind=entry.record.kind.value,
+            relation=entry.relation.value,
+            conditionality=entry.record.conditionality.value,
+            length_bin_index=bin_index,
+            human=(case.origin == "human"))
+        return rng.random() < sigmoid(self.profile.skill - difficulty)
+
+    def generate_case(self, case: SvaEvalCase, n: int = 20
+                      ) -> List[SolverResponse]:
+        rng = self._case_rng(case)
+        knows = self.knows_case(case, rng)
+        per_draw = (self.profile.know_rate if knows
+                    else self.profile.guess_rate)
+        responses = []
+        for _ in range(n):
+            if rng.random() < self.profile.format_error_rate:
+                responses.append(SolverResponse(0, "", "<malformed response>"))
+                continue
+            if rng.random() < per_draw:
+                record = case.record
+                responses.append(SolverResponse(
+                    record.line, record.buggy_line, record.fixed_line,
+                    cot=f"{self.name}: located the fault on line {record.line}."))
+            else:
+                responses.append(self._wrong_answer(case, rng))
+        return responses
+
+    def _wrong_answer(self, case: SvaEvalCase,
+                      rng: random.Random) -> SolverResponse:
+        lines = case.entry.buggy_source_with_sva.splitlines()
+        candidates = [i + 1 for i, text in enumerate(lines)
+                      if ("<=" in text or "assign" in text or "if" in text)
+                      and i + 1 != case.record.line]
+        if candidates:
+            line_no = rng.choice(candidates)
+        else:
+            line_no = max(1, case.record.line - 1)
+        text = " ".join(lines[line_no - 1].split())
+        fix = self._superficial_edit(text, rng)
+        return SolverResponse(line_no, text, fix,
+                              cot=f"{self.name}: suspected line {line_no}.")
+
+    def _superficial_edit(self, text: str, rng: random.Random) -> str:
+        swaps = list(_EDIT_SWAPS)
+        rng.shuffle(swaps)
+        for old, new in swaps:
+            if old in text:
+                return text.replace(old, new, 1)
+        match = re.search(r"\d+'d(\d+)", text)
+        if match:
+            value = int(match.group(1)) + 1
+            return text[:match.start(1)] + str(value) + text[match.end(1):]
+        return text
+
+
+def make_baseline(name: str, seed: int = 0) -> BaselineModel:
+    from repro.baselines.profiles import get_profile
+
+    return BaselineModel(get_profile(name), seed)

@@ -1,0 +1,98 @@
+"""Capability profiles for the Table IV baseline models.
+
+Each profile has:
+
+- ``skill``: the model's latent ability; per-case "does the model know this
+  one" is ``sigmoid(skill - difficulty(case))``;
+- ``know_rate``: per-draw correctness when the case is known (temperature
+  still produces occasional misses);
+- ``guess_rate``: per-draw correctness when unknown (lucky localization);
+- ``format_error_rate``: probability a draw is malformed JSON — the paper
+  notes open-source models often deviated from the required format.
+
+Difficulty follows the paper's Fig. 4 structure: longer code and
+Var/Indirect/Cond bugs are harder, human-crafted cases are harder (RQ3's
+~19% relative pass@1 drop emerges from the human offset).
+
+Calibration targets are the published Table IV numbers; the test suite
+asserts the *ordering* and the human-vs-machine drop, not the absolutes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+class BaselineProfile:
+    __slots__ = ("name", "skill", "know_rate", "guess_rate",
+                 "format_error_rate")
+
+    def __init__(self, name: str, skill: float, know_rate: float,
+                 guess_rate: float, format_error_rate: float = 0.0):
+        self.name = name
+        self.skill = skill
+        self.know_rate = know_rate
+        self.guess_rate = guess_rate
+        self.format_error_rate = format_error_rate
+
+
+# Difficulty contributions (logits).
+KIND_DIFFICULTY: Dict[str, float] = {"Var": 1.3, "Op": 0.25, "Value": 0.0}
+RELATION_DIFFICULTY: Dict[str, float] = {"Indirect": 0.8, "Direct": 0.0}
+COND_DIFFICULTY: Dict[str, float] = {"Cond": 0.35, "Non_cond": 0.0}
+LENGTH_BIN_DIFFICULTY = [0.0, 0.3, 0.6, 0.9, 1.3]
+HUMAN_DIFFICULTY = 0.5
+
+
+def sigmoid(x: float) -> float:
+    if x >= 0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)
+
+
+def case_difficulty(kind: str, relation: str, conditionality: str,
+                    length_bin_index: int, human: bool) -> float:
+    difficulty = KIND_DIFFICULTY.get(kind, 0.0)
+    difficulty += RELATION_DIFFICULTY.get(relation, 0.0)
+    difficulty += COND_DIFFICULTY.get(conditionality, 0.0)
+    index = max(0, min(length_bin_index, len(LENGTH_BIN_DIFFICULTY) - 1))
+    difficulty += LENGTH_BIN_DIFFICULTY[index]
+    if human:
+        difficulty += HUMAN_DIFFICULTY
+    return difficulty
+
+
+# Published pass@1/pass@5 on SVA-Eval (for the record, Table IV):
+#   Claude-3.5        74.52 / 83.83
+#   GPT-4             57.90 / 78.27
+#   o1-preview        76.57 / 87.74
+#   Deepseek-6.7b      4.35 / 15.62
+#   CodeLlama-7b       5.89 / 16.89
+#   Llama-3.1-8b      19.92 / 32.08
+BASELINE_PROFILES: Dict[str, BaselineProfile] = {
+    "o1-preview": BaselineProfile("o1-preview", skill=2.05,
+                                  know_rate=0.94, guess_rate=0.10),
+    "Claude-3.5": BaselineProfile("Claude-3.5", skill=1.95,
+                                  know_rate=0.92, guess_rate=0.06),
+    "GPT-4": BaselineProfile("GPT-4", skill=1.05,
+                             know_rate=0.86, guess_rate=0.08),
+    "Llama-3.1-8b": BaselineProfile("Llama-3.1-8b", skill=-0.65,
+                                    know_rate=0.72, guess_rate=0.035,
+                                    format_error_rate=0.12),
+    "CodeLlama-7b": BaselineProfile("CodeLlama-7b", skill=-2.30,
+                                    know_rate=0.60, guess_rate=0.015,
+                                    format_error_rate=0.25),
+    "Deepseek-coder-6.7b": BaselineProfile("Deepseek-coder-6.7b", skill=-2.60,
+                                           know_rate=0.55, guess_rate=0.012,
+                                           format_error_rate=0.30),
+}
+
+
+def get_profile(name: str) -> BaselineProfile:
+    try:
+        return BASELINE_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(BASELINE_PROFILES))
+        raise KeyError(f"unknown baseline {name!r}; known: {known}") from None

@@ -1,0 +1,36 @@
+"""Bug taxonomy and mutation engine (Table I of the paper).
+
+The paper classifies assertion-failure bugs along three orthogonal axes:
+
+- **kind**: Var (wrong identifier), Value (wrong constant/width),
+  Op (wrong operator) — the structural nature of the mutation;
+- **conditionality**: Cond (inside a conditional construct) vs Non_cond;
+- **relation**: Direct (the signal assigned on the buggy line appears in
+  the failing assertion) vs Indirect.
+
+:mod:`repro.bugs.mutators` generates single-line AST mutations whose
+*inverse is also a generatable mutation* — the repair candidate space used
+by the models (:mod:`repro.model.candidates`) is therefore exactly the
+fault model, mirroring how the paper's fine-tuned LLM learns the inverse of
+the bug distribution it was trained on.
+"""
+
+from repro.bugs.taxonomy import (
+    BugKind,
+    Conditionality,
+    Relation,
+    TABLE1_ROWS,
+)
+from repro.bugs.injector import BugInjector, BugRecord
+from repro.bugs.mutators import MutationCandidate, enumerate_mutations
+
+__all__ = [
+    "BugKind",
+    "Conditionality",
+    "Relation",
+    "TABLE1_ROWS",
+    "BugInjector",
+    "BugRecord",
+    "MutationCandidate",
+    "enumerate_mutations",
+]

@@ -1,0 +1,92 @@
+"""The paper's Table I bug taxonomy.
+
+Three orthogonal labels per bug; Table II of the paper reports marginal
+counts over (Direct, Indirect), (Var, Value, Op) and (Cond, Non_cond),
+which is why those seven names coexist in one table.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BugKind(enum.Enum):
+    """Structural nature of the mutation (Var / Value / Op rows)."""
+
+    VAR = "Var"
+    VALUE = "Value"
+    OP = "Op"
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.value
+
+
+class Conditionality(enum.Enum):
+    """Cond / Non_cond rows: is the buggy text part of a conditional?"""
+
+    COND = "Cond"
+    NON_COND = "Non_cond"
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.value
+
+
+class Relation(enum.Enum):
+    """Direct / Indirect rows: does the signal assigned (or gated) by the
+    buggy line appear in the failing assertion's expression?"""
+
+    DIRECT = "Direct"
+    INDIRECT = "Indirect"
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.value
+
+
+# The paper's Table I, row for row: (type, description, expected form,
+# unexpected form, assertion).  Regenerated verbatim by the Table I bench.
+TABLE1_ROWS = [
+    ("Direct",
+     "Bug signal appears directly in the assertion.",
+     "out <= in;", "out <= in + 1;", "assert(out == in)"),
+    ("Indirect",
+     "Bug signal does not appear directly in the assertion.",
+     "temp <= in; out <= temp;", "temp <= in + 1; out <= temp;",
+     "assert(out == in)"),
+    ("Var",
+     "Incorrect variable name or type.",
+     "out = in;", "out = input_data;", "-"),
+    ("Value",
+     "Incorrect variable values, constants, or signal bit widths.",
+     "out = 4'b1010;", "out = 4'b1110;", "-"),
+    ("Op",
+     "Misuse of operators.",
+     "out = a | b;", "out = a & b;", "-"),
+    ("Cond",
+     "Bug in conditional statement (e.g., if, always).",
+     "if (valid) out <= in;", "if (!valid) out <= in;", "-"),
+    ("Non_cond",
+     "Bug unrelated to conditional statements.",
+     "if (valid) out <= in;", "if (valid) out <= input_data;", "-"),
+]
+
+# Bucket keys in the order the paper's figures present them.
+BUG_TYPE_ORDER = ["Direct", "Indirect", "Var", "Value", "Op", "Cond", "Non_cond"]
+
+# The paper's five code-length bins.
+LENGTH_BINS = [(0, 50), (50, 100), (100, 150), (150, 200), (200, None)]
+
+
+def length_bin_label(bin_pair) -> str:
+    low, high = bin_pair
+    if high is None:
+        return f"({low}, +inf)"
+    return f"({low}, {high}]"
+
+
+def length_bin_of(line_count: int):
+    """Map a line count to its Table II bin."""
+    for low, high in LENGTH_BINS:
+        if high is None or line_count <= high:
+            if line_count > low:
+                return (low, high)
+    return LENGTH_BINS[-1]

@@ -1,0 +1,5 @@
+"""Top-level orchestration: the one-call reproduction pipeline."""
+
+from repro.core.api import AssertSolverPipeline, PipelineConfig
+
+__all__ = ["AssertSolverPipeline", "PipelineConfig"]

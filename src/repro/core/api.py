@@ -1,0 +1,183 @@
+"""Public API: :class:`AssertSolverPipeline` reproduces the whole paper.
+
+    from repro import AssertSolverPipeline, PipelineConfig
+
+    pipeline = AssertSolverPipeline(PipelineConfig(n_designs=80))
+    pipeline.run_datagen()       # Section II  (Verilog-PT / -Bug / SVA-Bug)
+    pipeline.train()             # Section III (PT -> SFT -> DPO)
+    pipeline.build_benchmark()   # Section IV  (SVA-Eval machine + human)
+    results = pipeline.evaluate()           # Section V (all models)
+    print(pipeline.report())                # all tables and figures
+
+Each step is lazily triggered by the ones after it, so ``pipeline.report()``
+alone runs everything.  A module-level cache keyed by the configuration lets
+the benchmark suite share one trained pipeline across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.engine import BaselineModel
+from repro.baselines.profiles import BASELINE_PROFILES
+from repro.datagen.pipeline import DatagenConfig, DatasetBundle, run_pipeline
+from repro.eval.benchmark import SvaEvalBenchmark, build_benchmark
+from repro.eval.histogram import render_histogram
+from repro.eval.reporting import (
+    render_fig4,
+    render_fig5,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.eval.runner import EvalResult, evaluate_model
+from repro.model.assertsolver import AssertSolver
+
+
+class PipelineConfig:
+    """Scale knobs for a full reproduction run."""
+
+    def __init__(self, n_designs: int = 80, bugs_per_design: int = 4,
+                 seed: int = 2025, n_samples: int = 20,
+                 include_human: bool = True,
+                 include_baselines: bool = True):
+        self.n_designs = n_designs
+        self.bugs_per_design = bugs_per_design
+        self.seed = seed
+        self.n_samples = n_samples
+        self.include_human = include_human
+        self.include_baselines = include_baselines
+
+    def datagen(self) -> DatagenConfig:
+        return DatagenConfig(n_designs=self.n_designs,
+                             bugs_per_design=self.bugs_per_design,
+                             seed=self.seed)
+
+    def cache_key(self) -> tuple:
+        return (self.n_designs, self.bugs_per_design, self.seed,
+                self.n_samples, self.include_human, self.include_baselines)
+
+
+class AssertSolverPipeline:
+    """End-to-end reproduction driver."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self.config = config or PipelineConfig()
+        self.bundle: Optional[DatasetBundle] = None
+        self.base_model: Optional[AssertSolver] = None
+        self.sft_model: Optional[AssertSolver] = None
+        self.assertsolver: Optional[AssertSolver] = None
+        self.benchmark: Optional[SvaEvalBenchmark] = None
+        self.results: Dict[str, EvalResult] = {}
+
+    # -- stages --------------------------------------------------------------
+
+    def run_datagen(self) -> DatasetBundle:
+        if self.bundle is None:
+            self.bundle = run_pipeline(self.config.datagen())
+        return self.bundle
+
+    def train(self) -> AssertSolver:
+        """Train the three checkpoints of Table III."""
+        if self.assertsolver is not None:
+            return self.assertsolver
+        bundle = self.run_datagen()
+        self.base_model = AssertSolver(seed=self.config.seed,
+                                       name="Base Model")
+        model = AssertSolver(seed=self.config.seed, name="SFT Model")
+        model.pretrain(bundle.verilog_pt)
+        model.train_sft(bundle.sva_bug_train, bundle.verilog_bug)
+        self.sft_model = model
+        solver = model.clone_checkpoint("AssertSolver")
+        solver._train_examples = model._train_examples
+        solver.train_dpo()
+        self.assertsolver = solver
+        return solver
+
+    def build_benchmark(self) -> SvaEvalBenchmark:
+        if self.benchmark is None:
+            bundle = self.run_datagen()
+            self.benchmark = build_benchmark(
+                bundle, include_human=self.config.include_human)
+        return self.benchmark
+
+    def models(self) -> List[object]:
+        """All models of Table III + Table IV, in reporting order."""
+        self.train()
+        models: List[object] = []
+        if self.config.include_baselines:
+            for name in ("Claude-3.5", "GPT-4", "o1-preview",
+                         "Deepseek-coder-6.7b", "CodeLlama-7b",
+                         "Llama-3.1-8b"):
+                models.append(BaselineModel(BASELINE_PROFILES[name],
+                                            seed=self.config.seed))
+        models.extend([self.base_model, self.sft_model, self.assertsolver])
+        return models
+
+    def evaluate(self) -> Dict[str, EvalResult]:
+        if self.results:
+            return self.results
+        benchmark = self.build_benchmark()
+        for model in self.models():
+            result = evaluate_model(model, benchmark.cases,
+                                    n=self.config.n_samples,
+                                    seed=self.config.seed + 1)
+            self.results[result.model_name] = result
+        return self.results
+
+    # -- reporting -------------------------------------------------------------
+
+    def table3_results(self) -> Dict[str, EvalResult]:
+        results = self.evaluate()
+        return {"Base Model": results["Base Model"],
+                "SFT Model": results["SFT Model"],
+                "AssertSolver": results["AssertSolver"]}
+
+    def table4_results(self) -> Dict[str, EvalResult]:
+        results = self.evaluate()
+        order = ["Claude-3.5", "GPT-4", "o1-preview", "Deepseek-coder-6.7b",
+                 "CodeLlama-7b", "Llama-3.1-8b", "AssertSolver"]
+        return {name: results[name] for name in order if name in results}
+
+    def report(self) -> str:
+        """Every table and figure, ready to print."""
+        bundle = self.run_datagen()
+        results = self.evaluate()
+        parts = [
+            bundle.summary(),
+            self.build_benchmark().summary(),
+            "",
+            render_table1(),
+            "",
+            render_table2(bundle.stats["sva_bug_distribution"],
+                          bundle.stats["sva_eval_distribution"]),
+            "",
+            render_table3(self.table3_results()),
+            "",
+            render_table4(self.table4_results()),
+            "",
+            "Fig 3: histogram of correct answers across 20 responses",
+            render_histogram({"SFT Model": results["SFT Model"],
+                              "AssertSolver": results["AssertSolver"]}),
+            "",
+            render_fig4(self.table4_results()),
+            "",
+            render_fig5(results["SFT Model"], results["AssertSolver"]),
+        ]
+        return "\n".join(parts)
+
+
+# -- shared pipeline cache (used by the benchmark suite) -----------------------
+
+_PIPELINE_CACHE: Dict[tuple, AssertSolverPipeline] = {}
+
+
+def shared_pipeline(config: Optional[PipelineConfig] = None
+                    ) -> AssertSolverPipeline:
+    """Process-wide cached pipeline, so every bench reuses one trained run."""
+    config = config or PipelineConfig()
+    key = config.cache_key()
+    if key not in _PIPELINE_CACHE:
+        _PIPELINE_CACHE[key] = AssertSolverPipeline(config)
+    return _PIPELINE_CACHE[key]

@@ -1,0 +1,27 @@
+"""Synthetic RTL corpus (substitute for the paper's HuggingFace corpus).
+
+The paper augments 108,971 open-source Verilog samples; offline we generate
+designs from parameterized template families instead.  Families are chosen
+to span the paper's five code-length bins and to give the bug injector the
+structural variety its Table I taxonomy needs (conditionals, operators,
+constants, direct/indirect assertion cones).
+
+- :mod:`repro.corpus.generator` — seeded sampling of template instances.
+- :mod:`repro.corpus.human` — hand-written designs with hand-crafted bugs
+  (the SVA-Eval-Human substitute, standing in for RTLLM-derived cases).
+- :mod:`repro.corpus.syntax_breaker` — syntax/semantic corruptions for the
+  Verilog-PT pretraining split (the paper keeps non-compiling code).
+"""
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
+from repro.corpus.registry import TEMPLATE_FAMILIES, template_names
+
+__all__ = [
+    "CorpusGenerator",
+    "DesignSeed",
+    "SvaHint",
+    "TemplateMeta",
+    "TEMPLATE_FAMILIES",
+    "template_names",
+]

@@ -1,0 +1,96 @@
+"""Metadata carried by every generated design.
+
+A template instance is a :class:`DesignSeed`: canonical source text plus a
+:class:`TemplateMeta` describing what the design does (feeding the spec
+oracle) and which temporal properties hold on it (feeding the SVA oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class SvaHint:
+    """A property known to hold on the golden design.
+
+    The SVA oracle assembles concrete ``property``/``assert`` source from
+    hints; Stage 2 of the pipeline then re-validates the result with the
+    bounded checker (hints may also be *distorted* to model hallucination).
+
+    Attributes
+    ----------
+    name:        property identifier base.
+    consequent:  boolean expression that must hold.
+    antecedent:  optional trigger expression (None -> invariant).
+    delay:       cycles between antecedent and consequent (0 = overlapped).
+    message:     the $error message text.
+    """
+
+    __slots__ = ("name", "consequent", "antecedent", "delay", "message")
+
+    def __init__(self, name: str, consequent: str, antecedent: Optional[str] = None,
+                 delay: int = 0, message: str = ""):
+        self.name = name
+        self.consequent = consequent
+        self.antecedent = antecedent
+        self.delay = delay
+        self.message = message or f"{name} violated"
+
+    def property_source(self, clock: str = "clk", disable: str = "!rst_n") -> str:
+        """Render the property declaration text."""
+        if self.antecedent is None:
+            body = self.consequent
+        elif self.delay == 0:
+            body = f"{self.antecedent} |-> {self.consequent}"
+        else:
+            body = f"{self.antecedent} |-> ##{self.delay} {self.consequent}"
+        return (f"property {self.name};\n"
+                f"  @(posedge {clock}) disable iff ({disable}) {body};\n"
+                f"endproperty")
+
+    def assertion_source(self) -> str:
+        return (f"{self.name}_assertion: assert property ({self.name}) "
+                f'else $error("{self.message}");')
+
+    def signals(self) -> List[str]:
+        """Identifier-ish tokens mentioned by the property (for cone
+        analysis)."""
+        import re
+        text = f"{self.antecedent or ''} {self.consequent}"
+        return sorted(set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", text))
+                      - {"posedge", "negedge"})
+
+
+class TemplateMeta:
+    """What a template instance is, for the annotation oracles."""
+
+    __slots__ = ("family", "params", "summary", "behaviour", "port_notes",
+                 "sva_hints")
+
+    def __init__(self, family: str, params: Dict[str, int], summary: str,
+                 behaviour: List[str], sva_hints: List[SvaHint],
+                 port_notes: Optional[Dict[str, str]] = None):
+        self.family = family
+        self.params = params
+        self.summary = summary
+        self.behaviour = behaviour
+        self.sva_hints = sva_hints
+        self.port_notes = port_notes or {}
+
+
+class DesignSeed:
+    """One golden design: canonical source + metadata."""
+
+    __slots__ = ("name", "source", "meta")
+
+    def __init__(self, name: str, source: str, meta: TemplateMeta):
+        self.name = name
+        self.source = source
+        self.meta = meta
+
+    @property
+    def line_count(self) -> int:
+        return self.source.count("\n")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DesignSeed({self.name!r}, {self.line_count} lines)"

@@ -1,0 +1,41 @@
+"""Template family registry.
+
+Maps family name -> template function.  The generator samples from this
+table; tests iterate it to validate every family's golden design against
+its own SVA hints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import random
+
+from repro.corpus.meta import DesignSeed
+from repro.corpus.templates_basic import BASIC_TEMPLATES
+from repro.corpus.templates_control import CONTROL_TEMPLATES
+from repro.corpus.templates_datapath import DATAPATH_TEMPLATES
+from repro.corpus.templates_idioms import IDIOM_TEMPLATES
+from repro.corpus.templates_wide import WIDE_TEMPLATES
+
+TemplateFn = Callable[[random.Random], DesignSeed]
+
+TEMPLATE_FAMILIES: Dict[str, TemplateFn] = {}
+TEMPLATE_FAMILIES.update(BASIC_TEMPLATES)
+TEMPLATE_FAMILIES.update(DATAPATH_TEMPLATES)
+TEMPLATE_FAMILIES.update(CONTROL_TEMPLATES)
+TEMPLATE_FAMILIES.update(WIDE_TEMPLATES)
+TEMPLATE_FAMILIES.update(IDIOM_TEMPLATES)
+
+
+def template_names() -> List[str]:
+    return sorted(TEMPLATE_FAMILIES)
+
+
+def make_instance(family: str, rng: random.Random) -> DesignSeed:
+    try:
+        template = TEMPLATE_FAMILIES[family]
+    except KeyError:
+        raise KeyError(f"unknown template family {family!r}; "
+                       f"known: {', '.join(template_names())}") from None
+    return template(rng)

@@ -1,0 +1,104 @@
+"""Syntax/semantic corruption of golden designs.
+
+The paper's Stage 1 keeps code that *fails* compilation and pairs it with a
+failure analysis for the Verilog-PT pretraining dataset.  This module
+produces that failing code on demand: each breaker applies one realistic
+corruption family (missing endmodule, dropped semicolon, undeclared
+identifier, duplicate declaration, unbalanced begin/end, bad literal) whose
+diagnosis our compiler substitute then reports.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+def _drop_endmodule(source: str, rng: random.Random) -> Optional[str]:
+    if "endmodule" not in source:
+        return None
+    return source.replace("endmodule", "", 1)
+
+
+def _drop_semicolon(source: str, rng: random.Random) -> Optional[str]:
+    lines = source.splitlines()
+    candidates = [i for i, line in enumerate(lines)
+                  if line.rstrip().endswith(";") and "assign" in line]
+    if not candidates:
+        candidates = [i for i, line in enumerate(lines)
+                      if line.rstrip().endswith(";")]
+    if not candidates:
+        return None
+    index = rng.choice(candidates)
+    lines[index] = lines[index].rstrip()[:-1]
+    return "\n".join(lines) + "\n"
+
+
+def _undeclared_identifier(source: str, rng: random.Random) -> Optional[str]:
+    matches = list(re.finditer(r"<= ([a-z][a-z0-9_]*)", source))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    ghost = match.group(1) + "_undeclared"
+    start, end = match.span(1)
+    return source[:start] + ghost + source[end:]
+
+
+def _duplicate_declaration(source: str, rng: random.Random) -> Optional[str]:
+    matches = list(re.finditer(r"^(\s*(?:reg|wire)[^;]*;)$", source, re.M))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    return source[:match.end()] + "\n" + match.group(1) + source[match.end():]
+
+
+def _drop_begin(source: str, rng: random.Random) -> Optional[str]:
+    index = source.find("begin")
+    if index < 0:
+        return None
+    return source[:index] + source[index + len("begin"):]
+
+
+def _bad_literal(source: str, rng: random.Random) -> Optional[str]:
+    matches = list(re.finditer(r"\d+'d\d+", source))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    broken = match.group(0).split("'")[0] + "'q" + match.group(0).split("d")[-1]
+    return source[:match.start()] + broken + source[match.end():]
+
+
+def _assign_to_input(source: str, rng: random.Random) -> Optional[str]:
+    port = re.search(r"input (\w+),", source)
+    if port is None:
+        return None
+    name = port.group(1)
+    if name in ("clk", "rst_n"):
+        # Still fine: driving a clock is exactly the kind of error we want.
+        pass
+    return source.replace("endmodule", f"  assign {name} = 1'b0;\nendmodule", 1)
+
+
+BREAKERS: Dict[str, Callable[[str, random.Random], Optional[str]]] = {
+    "missing_endmodule": _drop_endmodule,
+    "missing_semicolon": _drop_semicolon,
+    "undeclared_identifier": _undeclared_identifier,
+    "duplicate_declaration": _duplicate_declaration,
+    "unbalanced_begin": _drop_begin,
+    "bad_literal": _bad_literal,
+    "illegal_input_driver": _assign_to_input,
+}
+
+
+def break_syntax(source: str, rng: random.Random,
+                 kind: Optional[str] = None) -> Optional[Tuple[str, str]]:
+    """Apply one corruption.  Returns (kind, broken_source) or None when the
+    chosen breaker does not apply to this source."""
+    kinds: List[str] = [kind] if kind else list(BREAKERS)
+    rng.shuffle(kinds)
+    for chosen in kinds:
+        broken = BREAKERS[chosen](source, rng)
+        if broken is not None and broken != source:
+            return chosen, broken
+    return None

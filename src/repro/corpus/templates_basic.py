@@ -1,0 +1,305 @@
+"""Basic sequential template families: counters, accumulators, shift
+registers, parity trackers, edge detectors.
+
+Every template function takes a seeded :class:`random.Random` and returns a
+:class:`DesignSeed` whose SVA hints *hold on the golden design* — the
+Stage-2 validator re-checks this, and the unit tests enforce it per family.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(100000):05d}"
+
+
+def make_counter(rng: random.Random) -> DesignSeed:
+    """Modulo counter with enable."""
+    width = rng.choice([3, 4, 5, 6, 8])
+    modulo = rng.randrange(3, (1 << width) - 1)
+    name = f"mod_counter_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input en,
+  output reg [{width - 1}:0] count,
+  output wire wrap
+);
+  assign wrap = en && (count == {width}'d{modulo - 1});
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      count <= {width}'d0;
+    else if (en) begin
+      if (count == {width}'d{modulo - 1})
+        count <= {width}'d0;
+      else
+        count <= count + {width}'d1;
+    end
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("count_wraps", antecedent=f"en && count == {width}'d{modulo - 1}",
+                delay=1, consequent=f"count == {width}'d0",
+                message="counter must wrap to zero at the modulus"),
+        SvaHint("count_increments",
+                antecedent=f"en && count < {width}'d{modulo - 1}",
+                delay=1, consequent="count == $past(count) + 1",
+                message="counter must increment when enabled"),
+        SvaHint("count_in_range", consequent=f"count < {width}'d{modulo}",
+                message="counter must stay below the modulus"),
+    ]
+    meta = TemplateMeta(
+        family="counter",
+        params={"width": width, "modulo": modulo},
+        summary=f"A modulo-{modulo} up-counter with synchronous enable and "
+                f"asynchronous active-low reset.",
+        behaviour=[
+            f"count is a {width}-bit register holding the current count",
+            f"when en is high, count increments each clock; reaching "
+            f"{modulo - 1} wraps it to 0 on the next cycle",
+            "wrap pulses high during the cycle in which the wrap will occur",
+            "reset (rst_n low) clears count to 0 asynchronously",
+        ],
+        sva_hints=hints,
+        port_notes={"en": "count-enable strobe", "wrap": "wrap-around indicator"},
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_accumulator(rng: random.Random) -> DesignSeed:
+    """The paper's Fig. 1 style accumulator: sums N beats then emits."""
+    width = rng.choice([4, 6, 8])
+    beats = rng.choice([2, 4])
+    cnt_width = max((beats - 1).bit_length(), 1)
+    out_width = width + 2
+    name = f"accu_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{width - 1}:0] data_in,
+  input valid_in,
+  output reg valid_out,
+  output reg [{out_width - 1}:0] data_out
+);
+  wire end_cnt;
+  reg [{cnt_width - 1}:0] cnt;
+  assign end_cnt = valid_in && (cnt == {cnt_width}'d{beats - 1});
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      cnt <= {cnt_width}'d0;
+    else if (valid_in) begin
+      if (end_cnt)
+        cnt <= {cnt_width}'d0;
+      else
+        cnt <= cnt + {cnt_width}'d1;
+    end
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      valid_out <= 1'b0;
+    else if (end_cnt)
+      valid_out <= 1'b1;
+    else
+      valid_out <= 1'b0;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      data_out <= {out_width}'d0;
+    else if (valid_in) begin
+      if (end_cnt)
+        data_out <= {{{out_width - width}'d0, data_in}};
+      else
+        data_out <= data_out + {{{out_width - width}'d0, data_in}};
+    end
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("valid_out_check", antecedent="end_cnt", delay=1,
+                consequent="valid_out == 1",
+                message="valid_out should be high one cycle after end_cnt"),
+        SvaHint("valid_out_idle", antecedent="!end_cnt", delay=1,
+                consequent="valid_out == 0",
+                message="valid_out must stay low without end_cnt"),
+        SvaHint("cnt_bounded",
+                consequent=f"cnt <= {cnt_width}'d{beats - 1}",
+                message="beat counter must stay within the accumulation window"),
+    ]
+    meta = TemplateMeta(
+        family="accumulator",
+        params={"width": width, "beats": beats},
+        summary=f"An accumulator that sums {beats} valid input beats and "
+                f"pulses valid_out when a window completes.",
+        behaviour=[
+            f"data_in beats (when valid_in is high) are summed into data_out",
+            f"end_cnt marks the {beats}-th beat of a window",
+            "valid_out pulses for one cycle following end_cnt",
+            "a new window restarts the sum from the incoming beat",
+        ],
+        sva_hints=hints,
+        port_notes={"valid_in": "input beat qualifier",
+                    "valid_out": "window-complete pulse"},
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_shift_register(rng: random.Random) -> DesignSeed:
+    """Serial-in serial-out shift register."""
+    depth = rng.choice([3, 4, 6, 8])
+    name = f"shift_reg_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input serial_in,
+  output wire serial_out,
+  output wire [{depth - 1}:0] taps
+);
+  reg [{depth - 1}:0] sr;
+  assign serial_out = sr[{depth - 1}];
+  assign taps = sr;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      sr <= {depth}'d0;
+    else
+      sr <= {{sr[{depth - 2}:0], serial_in}};
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("delay_line", consequent=f"serial_out == $past(serial_in, {depth})",
+                message=f"serial_out must equal serial_in delayed {depth} cycles"),
+        SvaHint("shift_step", antecedent="serial_in", delay=1,
+                consequent="sr[0] == 1",
+                message="the newest bit must land in sr[0]"),
+    ]
+    meta = TemplateMeta(
+        family="shift_register",
+        params={"depth": depth},
+        summary=f"A {depth}-stage serial shift register with parallel taps.",
+        behaviour=[
+            "each clock shifts serial_in into bit 0",
+            f"serial_out presents the input delayed by {depth} cycles",
+            "taps exposes the whole register",
+            "reset clears every stage",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_parity_tracker(rng: random.Random) -> DesignSeed:
+    """Registers the parity of the input word each cycle."""
+    width = rng.choice([4, 8, 12, 16])
+    odd = rng.choice([0, 1])
+    op = "~^" if odd else "^"
+    kind = "odd" if odd else "even"
+    name = f"parity_{kind}_{_uid(rng)}"
+    parity_expr = f"{op}data_in" if not odd else f"!(^data_in)"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{width - 1}:0] data_in,
+  output reg parity,
+  output wire parity_now
+);
+  assign parity_now = {parity_expr};
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      parity <= 1'b{odd};
+    else
+      parity <= {parity_expr};
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("parity_tracks", consequent="parity == $past(parity_now)",
+                message="registered parity must track last cycle's input parity"),
+        SvaHint("parity_comb", consequent=f"parity_now == ({parity_expr})",
+                message="combinational parity must match the reduction"),
+    ]
+    meta = TemplateMeta(
+        family="parity",
+        params={"width": width, "odd": odd},
+        summary=f"A {kind}-parity tracker over a {width}-bit input word.",
+        behaviour=[
+            f"parity_now is the {kind} parity of data_in this cycle",
+            "parity registers parity_now with one cycle of delay",
+            f"reset presets parity to {odd}",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_edge_detector(rng: random.Random) -> DesignSeed:
+    """Rising/falling edge pulse generator."""
+    falling = rng.choice([0, 1])
+    kind = "fall" if falling else "rise"
+    name = f"edge_{kind}_{_uid(rng)}"
+    if falling:
+        pulse_expr = "~sig_in & prev"
+        sva_trig = "$fell(sig_in)"
+    else:
+        pulse_expr = "sig_in & ~prev"
+        sva_trig = "$rose(sig_in)"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input sig_in,
+  output wire pulse,
+  output reg pulse_q
+);
+  reg prev;
+  assign pulse = {pulse_expr};
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      prev <= 1'b0;
+    else
+      prev <= sig_in;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      pulse_q <= 1'b0;
+    else
+      pulse_q <= {pulse_expr};
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("edge_pulses", antecedent=sva_trig, delay=0, consequent="pulse",
+                message=f"pulse must fire on a {kind}ing edge of sig_in"),
+        SvaHint("pulse_q_delay", consequent="pulse_q == $past(pulse)",
+                message="registered pulse must lag the combinational pulse by one cycle"),
+    ]
+    meta = TemplateMeta(
+        family="edge_detector",
+        params={"falling": falling},
+        summary=f"A {kind}ing-edge detector producing combinational and "
+                f"registered single-cycle pulses.",
+        behaviour=[
+            "prev registers sig_in each cycle",
+            f"pulse is high exactly when sig_in {'falls' if falling else 'rises'}",
+            "pulse_q is pulse delayed by one clock",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+BASIC_TEMPLATES = {
+    "counter": make_counter,
+    "accumulator": make_accumulator,
+    "shift_register": make_shift_register,
+    "parity": make_parity_tracker,
+    "edge_detector": make_edge_detector,
+}

@@ -1,0 +1,371 @@
+"""Control-logic template families: FSMs, arbiters, handshakes, FIFO
+occupancy trackers, clock dividers, traffic-light controllers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(100000):05d}"
+
+
+def make_sequence_detector(rng: random.Random) -> DesignSeed:
+    """Mealy detector for the bit pattern 101 (or 110)."""
+    pattern = rng.choice(["101", "110"])
+    name = f"seq_detect_{pattern}_{_uid(rng)}"
+    if pattern == "101":
+        transitions = """
+      case (state)
+      2'd0:
+        state <= din ? 2'd1 : 2'd0;
+      2'd1:
+        state <= din ? 2'd1 : 2'd2;
+      2'd2:
+        state <= din ? 2'd1 : 2'd0;
+      default:
+        state <= 2'd0;
+      endcase"""
+        found_expr = "(state == 2'd2) && din"
+    else:
+        transitions = """
+      case (state)
+      2'd0:
+        state <= din ? 2'd1 : 2'd0;
+      2'd1:
+        state <= din ? 2'd2 : 2'd0;
+      2'd2:
+        state <= din ? 2'd2 : 2'd0;
+      default:
+        state <= 2'd0;
+      endcase"""
+        found_expr = "(state == 2'd2) && !din"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input din,
+  output reg found,
+  output reg [1:0] state
+);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      state <= 2'd0;
+    else begin{transitions}
+    end
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      found <= 1'b0;
+    else
+      found <= {found_expr};
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("state_legal", consequent="state <= 2'd2",
+                message="the detector has only three legal states"),
+        SvaHint("found_fires", antecedent=found_expr, delay=1,
+                consequent="found",
+                message=f"found must pulse after observing {pattern}"),
+        SvaHint("found_quiet", antecedent=f"!({found_expr})", delay=1,
+                consequent="!found",
+                message="found must stay low without a detection"),
+    ]
+    meta = TemplateMeta(
+        family="fsm",
+        params={"pattern": int(pattern, 2)},
+        summary=f"A Mealy FSM that raises found for one cycle after the "
+                f"serial pattern {pattern} appears on din.",
+        behaviour=[
+            "state tracks the progress through the target pattern",
+            f"found pulses the cycle after the final bit of {pattern}",
+            "overlapping occurrences are detected",
+            "reset returns the detector to the idle state",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_arbiter(rng: random.Random) -> DesignSeed:
+    """Fixed-priority arbiter with registered one-hot grant."""
+    channels = rng.choice([2, 3, 4])
+    name = f"arbiter_{channels}ch_{_uid(rng)}"
+    grant_terms = []
+    for i in range(channels):
+        mask = " && ".join([f"!req[{j}]" for j in range(i)] + [f"req[{i}]"])
+        grant_terms.append((i, mask))
+    comb = "\n".join(
+        f"  assign pick[{i}] = {mask};" for i, mask in grant_terms)
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{channels - 1}:0] req,
+  output reg [{channels - 1}:0] gnt
+);
+  wire [{channels - 1}:0] pick;
+{comb}
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      gnt <= {channels}'d0;
+    else
+      gnt <= pick;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("grant_onehot0", consequent="$onehot0(gnt)",
+                message="at most one requester may hold the grant"),
+        SvaHint("top_priority", antecedent="req[0]", delay=1,
+                consequent="gnt[0]",
+                message="requester 0 has absolute priority"),
+        SvaHint("grant_needs_req", consequent="(gnt & ~$past(req)) == 0",
+                message="a grant must answer a request from the previous cycle"),
+    ]
+    meta = TemplateMeta(
+        family="arbiter",
+        params={"channels": channels},
+        summary=f"A {channels}-channel fixed-priority arbiter with a "
+                f"registered one-hot grant vector (channel 0 highest).",
+        behaviour=[
+            "pick selects the lowest-index active request combinationally",
+            "gnt registers pick every clock",
+            "the grant vector is one-hot or idle",
+            "channel 0 always wins when it requests",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_handshake(rng: random.Random) -> DesignSeed:
+    """Request/acknowledge handshake register with busy tracking."""
+    width = rng.choice([4, 8])
+    name = f"handshake_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input req,
+  input [{width - 1}:0] req_data,
+  output reg ack,
+  output reg [{width - 1}:0] ack_data,
+  output wire busy
+);
+  assign busy = req && !ack;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      ack <= 1'b0;
+    else
+      ack <= req;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      ack_data <= {width}'d0;
+    else if (req)
+      ack_data <= req_data;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("ack_follows_req", antecedent="req", delay=1, consequent="ack",
+                message="every request must be acknowledged on the next cycle"),
+        SvaHint("ack_data_captures", antecedent="req", delay=1,
+                consequent="ack_data == $past(req_data)",
+                message="acknowledged data must capture the requested data"),
+        SvaHint("no_spurious_ack", antecedent="!req", delay=1, consequent="!ack",
+                message="no acknowledge without a request"),
+    ]
+    meta = TemplateMeta(
+        family="handshake",
+        params={"width": width},
+        summary=f"A single-beat req/ack handshake that captures {width}-bit "
+                f"request data.",
+        behaviour=[
+            "ack answers req with one cycle of latency",
+            "ack_data holds the data captured by the last request",
+            "busy flags an outstanding, unacknowledged request",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_fifo_tracker(rng: random.Random) -> DesignSeed:
+    """FIFO occupancy tracker (counter with guarded push/pop)."""
+    depth = rng.choice([4, 8, 15])
+    width = max(depth.bit_length(), 2)
+    name = f"fifo_track_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input push,
+  input pop,
+  output reg [{width - 1}:0] count,
+  output wire full,
+  output wire empty
+);
+  assign full = count == {width}'d{depth};
+  assign empty = count == {width}'d0;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      count <= {width}'d0;
+    else if (push && !pop && !full)
+      count <= count + {width}'d1;
+    else if (pop && !push && !empty)
+      count <= count - {width}'d1;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("count_bounded", consequent=f"count <= {width}'d{depth}",
+                message="occupancy may never exceed the FIFO depth"),
+        SvaHint("no_full_empty", consequent="!(full && empty)",
+                message="the FIFO cannot be full and empty at once"),
+        SvaHint("push_counts", antecedent="push && !pop && !full", delay=1,
+                consequent="count == $past(count) + 1",
+                message="a push into a non-full FIFO must raise the count"),
+        SvaHint("pop_counts", antecedent="pop && !push && !empty", delay=1,
+                consequent="count == $past(count) - 1",
+                message="a pop from a non-empty FIFO must lower the count"),
+    ]
+    meta = TemplateMeta(
+        family="fifo",
+        params={"depth": depth},
+        summary=f"Occupancy tracking for a depth-{depth} FIFO with guarded "
+                f"push/pop and full/empty flags.",
+        behaviour=[
+            "count rises on push (unless full) and falls on pop (unless empty)",
+            "simultaneous push and pop leave the count unchanged",
+            f"full marks count == {depth}; empty marks count == 0",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_clock_divider(rng: random.Random) -> DesignSeed:
+    """Divide-by-N tick generator."""
+    divide = rng.choice([3, 4, 6, 10])
+    width = max((divide - 1).bit_length(), 1)
+    name = f"clkdiv_{divide}_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  output wire tick,
+  output reg [{width - 1}:0] phase
+);
+  assign tick = phase == {width}'d{divide - 1};
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      phase <= {width}'d0;
+    else if (tick)
+      phase <= {width}'d0;
+    else
+      phase <= phase + {width}'d1;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("phase_bounded", consequent=f"phase <= {width}'d{divide - 1}",
+                message="the phase counter must stay below the divisor"),
+        SvaHint("tick_resets_phase", antecedent="tick", delay=1,
+                consequent=f"phase == {width}'d0",
+                message="the cycle after a tick restarts the phase"),
+        SvaHint("tick_position", consequent=f"tick == (phase == {width}'d{divide - 1})",
+                message="tick must fire exactly at the terminal phase"),
+    ]
+    meta = TemplateMeta(
+        family="clock_divider",
+        params={"divide": divide},
+        summary=f"A divide-by-{divide} tick generator with a phase counter.",
+        behaviour=[
+            f"phase cycles through 0..{divide - 1}",
+            "tick pulses during the terminal phase",
+            "a tick returns the phase to zero on the next clock",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_traffic_light(rng: random.Random) -> DesignSeed:
+    """Three-phase traffic-light controller with per-phase dwell counters."""
+    green = rng.choice([3, 5])
+    yellow = 2
+    red = rng.choice([3, 4])
+    width = 4
+    name = f"traffic_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  output reg [1:0] light,
+  output reg [{width - 1}:0] dwell
+);
+  wire phase_done;
+  assign phase_done = (light == 2'd0 && dwell == {width}'d{green - 1})
+      || (light == 2'd1 && dwell == {width}'d{yellow - 1})
+      || (light == 2'd2 && dwell == {width}'d{red - 1});
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      light <= 2'd0;
+    else if (phase_done) begin
+      if (light == 2'd2)
+        light <= 2'd0;
+      else
+        light <= light + 2'd1;
+    end
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      dwell <= {width}'d0;
+    else if (phase_done)
+      dwell <= {width}'d0;
+    else
+      dwell <= dwell + {width}'d1;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("light_legal", consequent="light <= 2'd2",
+                message="only green/yellow/red phases are legal"),
+        SvaHint("green_to_yellow",
+                antecedent=f"light == 2'd0 && dwell == {width}'d{green - 1}",
+                delay=1, consequent="light == 2'd1",
+                message="green must hand over to yellow after its dwell"),
+        SvaHint("red_to_green",
+                antecedent=f"light == 2'd2 && dwell == {width}'d{red - 1}",
+                delay=1, consequent="light == 2'd0",
+                message="red must hand over to green after its dwell"),
+    ]
+    meta = TemplateMeta(
+        family="traffic_light",
+        params={"green": green, "yellow": yellow, "red": red},
+        summary="A three-phase traffic-light controller (green, yellow, red) "
+                "with fixed dwell times per phase.",
+        behaviour=[
+            f"green lasts {green} cycles, yellow {yellow}, red {red}",
+            "dwell counts cycles within the current phase",
+            "phase_done advances the light and clears the dwell counter",
+            "the sequence is green -> yellow -> red -> green",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+CONTROL_TEMPLATES = {
+    "fsm": make_sequence_detector,
+    "arbiter": make_arbiter,
+    "handshake": make_handshake,
+    "fifo": make_fifo_tracker,
+    "clock_divider": make_clock_divider,
+    "traffic_light": make_traffic_light,
+}

@@ -1,0 +1,376 @@
+"""Datapath template families: ALUs, comparators, saturating counters,
+gray-code counters, LFSRs, PWM generators, decoders."""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(100000):05d}"
+
+
+def make_alu(rng: random.Random) -> DesignSeed:
+    """Registered-output ALU with a case-selected operation."""
+    width = rng.choice([4, 8, 16])
+    # AND and XOR always present (the SVA hints reference them); the rest
+    # pad out the opcode space for length/variety.
+    ops = [("ADD", "a + b"), ("SUB", "a - b"), ("AND", "a & b"),
+           ("XOR", "a ^ b"), ("OR", "a | b"), ("SHL", "a << 1"),
+           ("SHR", "a >> 1"), ("PASS", "a")]
+    count = rng.choice([4, 6, 8])
+    chosen = ops[:count]
+    op_width = max((count - 1).bit_length(), 1)
+    name = f"alu_{_uid(rng)}"
+    cases = "\n".join(
+        f"      {op_width}'d{i}:\n        result <= {expr};"
+        for i, (_, expr) in enumerate(chosen))
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{op_width - 1}:0] op,
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  output reg [{width - 1}:0] result,
+  output wire zero
+);
+  assign zero = result == {width}'d0;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      result <= {width}'d0;
+    else begin
+      case (op)
+{cases}
+      default:
+        result <= {width}'d0;
+      endcase
+    end
+  end
+endmodule
+"""
+    and_index = next(i for i, (mnemonic, _) in enumerate(chosen)
+                     if mnemonic == "AND")
+    xor_index = next(i for i, (mnemonic, _) in enumerate(chosen)
+                     if mnemonic == "XOR")
+    hints = [
+        SvaHint("and_result", antecedent=f"op == {op_width}'d{and_index}",
+                delay=1, consequent="result == ($past(a) & $past(b))",
+                message="AND op must produce the bitwise and of the operands"),
+        SvaHint("xor_result", antecedent=f"op == {op_width}'d{xor_index}",
+                delay=1, consequent="result == ($past(a) ^ $past(b))",
+                message="XOR op must produce the bitwise xor of the operands"),
+        SvaHint("zero_flag", consequent=f"zero == (result == {width}'d0)",
+                message="zero flag must mirror an all-zero result"),
+    ]
+    meta = TemplateMeta(
+        family="alu",
+        params={"width": width, "ops": count},
+        summary=f"A {width}-bit ALU with {count} operations and a registered "
+                f"result plus a combinational zero flag.",
+        behaviour=[
+            "op selects the operation applied to operands a and b",
+            "result registers the selected operation every clock",
+            "unknown opcodes clear the result",
+            "zero is high whenever result is all zeros",
+        ]
+        + [f"op {i} computes {expr}" for i, (_, expr) in enumerate(chosen)],
+        sva_hints=hints,
+        port_notes={"op": "operation select"},
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_comparator(rng: random.Random) -> DesignSeed:
+    """Registered magnitude comparator with three flags."""
+    width = rng.choice([4, 8, 12])
+    name = f"cmp_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{width - 1}:0] a,
+  input [{width - 1}:0] b,
+  output reg gt_flag,
+  output reg lt_flag,
+  output reg eq_flag
+);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      gt_flag <= 1'b0;
+      lt_flag <= 1'b0;
+      eq_flag <= 1'b0;
+    end
+    else begin
+      gt_flag <= a > b;
+      lt_flag <= a < b;
+      eq_flag <= a == b;
+    end
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("gt_tracks", antecedent="a > b", delay=1, consequent="gt_flag",
+                message="gt_flag must register a > b"),
+        SvaHint("eq_tracks", antecedent="a == b", delay=1, consequent="eq_flag",
+                message="eq_flag must register a == b"),
+        SvaHint("flags_exclusive", consequent="!(gt_flag && lt_flag)",
+                message="gt and lt can never both be set"),
+    ]
+    meta = TemplateMeta(
+        family="comparator",
+        params={"width": width},
+        summary=f"A {width}-bit magnitude comparator with registered "
+                f"greater/less/equal flags.",
+        behaviour=[
+            "flags register the comparison of a and b each clock",
+            "exactly one of gt/lt/eq reflects the previous-cycle operands",
+            "reset clears all flags",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_saturating_counter(rng: random.Random) -> DesignSeed:
+    """Up/down counter saturating at [0, MAX]."""
+    width = rng.choice([3, 4, 6])
+    maximum = rng.randrange(3, (1 << width) - 1)
+    name = f"sat_counter_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input inc,
+  input dec,
+  output reg [{width - 1}:0] level
+);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      level <= {width}'d0;
+    else if (inc && !dec) begin
+      if (level < {width}'d{maximum})
+        level <= level + {width}'d1;
+    end
+    else if (dec && !inc) begin
+      if (level > {width}'d0)
+        level <= level - {width}'d1;
+    end
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("level_bounded", consequent=f"level <= {width}'d{maximum}",
+                message="level must never exceed the saturation maximum"),
+        SvaHint("saturates_high",
+                antecedent=f"inc && !dec && level == {width}'d{maximum}",
+                delay=1, consequent=f"level == {width}'d{maximum}",
+                message="incrementing at the maximum must hold the level"),
+        SvaHint("dec_at_zero", antecedent=f"dec && !inc && level == {width}'d0",
+                delay=1, consequent=f"level == {width}'d0",
+                message="decrementing at zero must hold the level"),
+    ]
+    meta = TemplateMeta(
+        family="saturating_counter",
+        params={"width": width, "maximum": maximum},
+        summary=f"An up/down counter saturating at 0 and {maximum}.",
+        behaviour=[
+            "inc raises the level by one unless already at the maximum",
+            "dec lowers the level by one unless already at zero",
+            "simultaneous inc and dec leave the level unchanged",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_gray_counter(rng: random.Random) -> DesignSeed:
+    """Free-running binary counter with gray-coded output."""
+    width = rng.choice([3, 4, 5, 6])
+    name = f"gray_counter_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  output wire [{width - 1}:0] gray
+);
+  reg [{width - 1}:0] bin;
+  assign gray = bin ^ (bin >> 1);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      bin <= {width}'d0;
+    else
+      bin <= bin + {width}'d1;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("gray_unit_distance",
+                consequent="$countones(gray ^ $past(gray)) <= 1",
+                message="consecutive gray codes may differ in at most one bit"),
+        SvaHint("gray_maps_bin", consequent="gray == (bin ^ (bin >> 1))",
+                message="gray output must be the binary-reflected code of bin"),
+    ]
+    meta = TemplateMeta(
+        family="gray_counter",
+        params={"width": width},
+        summary=f"A free-running {width}-bit counter with binary-reflected "
+                f"gray-code output.",
+        behaviour=[
+            "bin increments every clock and wraps naturally",
+            "gray is bin xor (bin >> 1)",
+            "consecutive gray outputs differ in exactly one bit",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_lfsr(rng: random.Random) -> DesignSeed:
+    """Fibonacci LFSR seeded nonzero by reset."""
+    width = rng.choice([4, 5, 7, 8])
+    tap = rng.randrange(1, width - 1)
+    name = f"lfsr_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  output reg [{width - 1}:0] state,
+  output wire feedback
+);
+  assign feedback = state[{width - 1}] ^ state[{tap}];
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      state <= {width}'d1;
+    else
+      state <= {{state[{width - 2}:0], feedback}};
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("lfsr_nonzero", consequent=f"state != {width}'d0",
+                message="a properly seeded LFSR never reaches the all-zero state"),
+        SvaHint("lfsr_shifts", consequent=f"state[{width - 1}:1] == "
+                                          f"$past(state[{width - 2}:0])",
+                message="the register must shift left by one each cycle"),
+    ]
+    meta = TemplateMeta(
+        family="lfsr",
+        params={"width": width, "tap": tap},
+        summary=f"A {width}-bit Fibonacci LFSR with feedback from bits "
+                f"{width - 1} and {tap}.",
+        behaviour=[
+            "state shifts left each clock, inserting the feedback bit",
+            f"feedback is the xor of bits {width - 1} and {tap}",
+            "reset seeds the register to 1, so it never reaches zero",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_pwm(rng: random.Random) -> DesignSeed:
+    """PWM: free-running counter compared against a duty threshold."""
+    width = rng.choice([3, 4, 6])
+    name = f"pwm_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{width - 1}:0] duty,
+  output wire pwm_out,
+  output reg [{width - 1}:0] phase
+);
+  assign pwm_out = phase < duty;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      phase <= {width}'d0;
+    else
+      phase <= phase + {width}'d1;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("pwm_zero_duty", antecedent=f"duty == {width}'d0",
+                delay=0, consequent="!pwm_out",
+                message="zero duty must keep the output low"),
+        SvaHint("pwm_compare", consequent="pwm_out == (phase < duty)",
+                message="the output must compare phase against duty"),
+        SvaHint("phase_steps",
+                consequent=f"phase == $past(phase + {width}'d1)",
+                message="phase advances by one (mod 2^width) each cycle"),
+    ]
+    meta = TemplateMeta(
+        family="pwm",
+        params={"width": width},
+        summary=f"A {width}-bit PWM generator: output high while the phase "
+                f"counter is below the duty threshold.",
+        behaviour=[
+            "phase increments every clock and wraps naturally",
+            "pwm_out is high exactly while phase < duty",
+            "duty == 0 keeps the output low for the whole period",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_decoder(rng: random.Random) -> DesignSeed:
+    """Registered one-hot decoder."""
+    sel_width = rng.choice([2, 3])
+    out_width = 1 << sel_width
+    name = f"decoder_{_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{sel_width - 1}:0] sel,
+  input en,
+  output reg [{out_width - 1}:0] dec_out
+);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      dec_out <= {out_width}'d0;
+    else if (en)
+      dec_out <= {out_width}'d1 << sel;
+    else
+      dec_out <= {out_width}'d0;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("dec_onehot0", consequent="$onehot0(dec_out)",
+                message="the decoder output must be one-hot or idle"),
+        SvaHint("dec_selects", antecedent="en", delay=1,
+                consequent="dec_out == ($past({0}'d1 << sel))".format(out_width),
+                message="the selected lane must assert one cycle later"),
+        SvaHint("dec_idle", antecedent="!en", delay=1,
+                consequent=f"dec_out == {out_width}'d0",
+                message="disabling must clear the output"),
+    ]
+    meta = TemplateMeta(
+        family="decoder",
+        params={"sel_width": sel_width},
+        summary=f"A registered {sel_width}-to-{out_width} one-hot decoder "
+                f"with enable.",
+        behaviour=[
+            "when en is high the lane addressed by sel asserts next cycle",
+            "when en is low the output clears",
+            "the output is always one-hot or all zeros",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+DATAPATH_TEMPLATES = {
+    "alu": make_alu,
+    "comparator": make_comparator,
+    "saturating_counter": make_saturating_counter,
+    "gray_counter": make_gray_counter,
+    "lfsr": make_lfsr,
+    "pwm": make_pwm,
+    "decoder": make_decoder,
+}

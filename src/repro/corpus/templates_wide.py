@@ -1,0 +1,268 @@
+"""Wide/long template families covering the paper's upper code-length bins:
+register files, mux trees, pipelines, multi-channel datapaths.
+
+These unroll per-register / per-stage / per-channel logic, so the canonical
+source comfortably reaches the (150, 200] and (200, +inf) bins of Table II.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(100000):05d}"
+
+
+def make_register_file(rng: random.Random) -> DesignSeed:
+    """Unrolled register file: one write port, one combinational read port."""
+    count = rng.choice([4, 8, 16, 32])
+    width = rng.choice([4, 8])
+    addr_width = max((count - 1).bit_length(), 1)
+    name = f"regfile_{count}x{width}_{_uid(rng)}"
+    decls = "\n".join(f"  reg [{width - 1}:0] r{i};" for i in range(count))
+    write_blocks = []
+    for i in range(count):
+        write_blocks.append(f"""  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      r{i} <= {width}'d0;
+    else if (we && waddr == {addr_width}'d{i})
+      r{i} <= wdata;
+  end""")
+    read_cases = "\n".join(
+        f"      {addr_width}'d{i}:\n        rdata = r{i};" for i in range(count))
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input we,
+  input [{addr_width - 1}:0] waddr,
+  input [{width - 1}:0] wdata,
+  input [{addr_width - 1}:0] raddr,
+  output reg [{width - 1}:0] rdata
+);
+{decls}
+{chr(10).join(write_blocks)}
+  always @(*) begin
+    case (raddr)
+{read_cases}
+    default:
+      rdata = {width}'d0;
+    endcase
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("write_r0", antecedent=f"we && waddr == {addr_width}'d0",
+                delay=1, consequent="r0 == $past(wdata)",
+                message="a write to address 0 must land in register 0"),
+        SvaHint("hold_r1",
+                antecedent=f"!(we && waddr == {addr_width}'d1)", delay=1,
+                consequent="r1 == $past(r1)",
+                message="register 1 must hold its value without a write"),
+        SvaHint("read_r0", antecedent=f"raddr == {addr_width}'d0", delay=0,
+                consequent="rdata == r0",
+                message="reading address 0 must return register 0"),
+    ]
+    meta = TemplateMeta(
+        family="register_file",
+        params={"count": count, "width": width},
+        summary=f"A {count}x{width} register file with one registered write "
+                f"port and one combinational read port.",
+        behaviour=[
+            "we writes wdata into the register addressed by waddr",
+            "rdata continuously presents the register addressed by raddr",
+            "unwritten registers hold their values",
+            "reset clears every register",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_mux_tree(rng: random.Random) -> DesignSeed:
+    """Wide registered multiplexer over unrolled scalar inputs."""
+    lanes = rng.choice([4, 8, 16, 32])
+    width = rng.choice([4, 8])
+    sel_width = max((lanes - 1).bit_length(), 1)
+    name = f"mux_{lanes}to1_{_uid(rng)}"
+    ports = ",\n".join(f"  input [{width - 1}:0] in{i}" for i in range(lanes))
+    cases = "\n".join(
+        f"      {sel_width}'d{i}:\n        mux_out <= in{i};" for i in range(lanes))
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{sel_width - 1}:0] sel,
+{ports},
+  output reg [{width - 1}:0] mux_out
+);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      mux_out <= {width}'d0;
+    else begin
+      case (sel)
+{cases}
+      default:
+        mux_out <= {width}'d0;
+      endcase
+    end
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("selects_lane0", antecedent=f"sel == {sel_width}'d0", delay=1,
+                consequent="mux_out == $past(in0)",
+                message="lane 0 must reach the output when selected"),
+        SvaHint("selects_last", antecedent=f"sel == {sel_width}'d{lanes - 1}",
+                delay=1, consequent=f"mux_out == $past(in{lanes - 1})",
+                message="the last lane must reach the output when selected"),
+    ]
+    meta = TemplateMeta(
+        family="mux_tree",
+        params={"lanes": lanes, "width": width},
+        summary=f"A registered {lanes}-to-1 multiplexer over {width}-bit lanes.",
+        behaviour=[
+            "sel picks one input lane each cycle",
+            "the selected lane is registered into mux_out",
+            "out-of-range selects clear the output",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_pipeline(rng: random.Random) -> DesignSeed:
+    """N-stage valid/data pipeline."""
+    stages = rng.choice([3, 4, 6, 8, 12, 16])
+    width = rng.choice([4, 8])
+    name = f"pipe_{stages}s_{_uid(rng)}"
+    decls = "\n".join(
+        f"  reg [{width - 1}:0] d{i};\n  reg v{i};" for i in range(stages))
+    blocks = []
+    for i in range(stages):
+        src_d = "din" if i == 0 else f"d{i - 1}"
+        src_v = "valid_in" if i == 0 else f"v{i - 1}"
+        blocks.append(f"""  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      d{i} <= {width}'d0;
+      v{i} <= 1'b0;
+    end
+    else begin
+      d{i} <= {src_d};
+      v{i} <= {src_v};
+    end
+  end""")
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input valid_in,
+  input [{width - 1}:0] din,
+  output wire valid_out,
+  output wire [{width - 1}:0] dout
+);
+{decls}
+{chr(10).join(blocks)}
+  assign valid_out = v{stages - 1};
+  assign dout = d{stages - 1};
+endmodule
+"""
+    hints = [
+        SvaHint("latency_valid", antecedent="valid_in", delay=stages,
+                consequent="valid_out",
+                message=f"valid must emerge after exactly {stages} stages"),
+        SvaHint("latency_data", consequent=f"dout == $past(din, {stages})",
+                message=f"data must traverse the pipeline in {stages} cycles"),
+        SvaHint("stage1_tracks", consequent="v0 == $past(valid_in)",
+                message="the first stage must register the input qualifier"),
+    ]
+    meta = TemplateMeta(
+        family="pipeline",
+        params={"stages": stages, "width": width},
+        summary=f"A {stages}-stage always-advancing pipeline for {width}-bit "
+                f"data with a valid qualifier.",
+        behaviour=[
+            "every clock advances data and valid by one stage",
+            f"outputs emerge {stages} cycles after the inputs",
+            "reset clears every stage",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_multichannel_accumulator(rng: random.Random) -> DesignSeed:
+    """K independent accumulators with per-channel clear."""
+    channels = rng.choice([2, 3, 4])
+    width = rng.choice([4, 8])
+    acc_width = width + 4
+    name = f"multi_acc_{channels}ch_{_uid(rng)}"
+    port_lines = []
+    for i in range(channels):
+        port_lines.append(f"  input en{i},")
+        port_lines.append(f"  input clr{i},")
+        port_lines.append(f"  output reg [{acc_width - 1}:0] acc{i},")
+    port_lines.append("  output wire any_active,")
+    port_lines.append("  output reg active_q")
+    blocks = []
+    for i in range(channels):
+        blocks.append(f"""  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      acc{i} <= {acc_width}'d0;
+    else if (clr{i})
+      acc{i} <= {acc_width}'d0;
+    else if (en{i})
+      acc{i} <= acc{i} + {{{acc_width - width}'d0, data_in}};
+  end""")
+    any_expr = " || ".join(f"en{i}" for i in range(channels))
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{width - 1}:0] data_in,
+{chr(10).join(port_lines)}
+);
+  assign any_active = {any_expr};
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      active_q <= 1'b0;
+    else
+      active_q <= any_active;
+  end
+{chr(10).join(blocks)}
+endmodule
+"""
+    hints = [
+        SvaHint("clr0_clears", antecedent="clr0", delay=1,
+                consequent=f"acc0 == {acc_width}'d0",
+                message="clearing channel 0 must zero its accumulator"),
+        SvaHint("hold0", antecedent="!clr0 && !en0", delay=1,
+                consequent="acc0 == $past(acc0)",
+                message="an idle channel must hold its sum"),
+        SvaHint("active_mirrors", consequent="active_q == $past(any_active)",
+                message="the activity flag must register the OR of enables"),
+    ]
+    meta = TemplateMeta(
+        family="multichannel",
+        params={"channels": channels, "width": width},
+        summary=f"{channels} independent accumulators sharing one data input, "
+                f"each with enable and clear controls.",
+        behaviour=[
+            "each channel adds data_in to its sum when enabled",
+            "clr has priority over en and zeroes the channel",
+            "any_active ORs the channel enables; active_q registers it",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+WIDE_TEMPLATES = {
+    "register_file": make_register_file,
+    "mux_tree": make_mux_tree,
+    "pipeline": make_pipeline,
+    "multichannel": make_multichannel_accumulator,
+}

@@ -1,0 +1,18 @@
+"""The three-stage data augmentation pipeline (paper Section II, Fig 2-I).
+
+- Stage 1 (:mod:`repro.datagen.stage1`): filtering, syntax checking and the
+  Verilog-PT pretraining dataset (failing code + spec + failure analysis).
+- Stage 2 (:mod:`repro.datagen.stage2`): SVA + bug generation with
+  compile/BMC validation, splitting outcomes into SVA-Bug candidates
+  (assertion fires) and Verilog-Bug entries (silent functional bugs).
+- Stage 3 (:mod:`repro.datagen.stage3`): CoT generation and validation
+  against golden solutions.
+- :mod:`repro.datagen.split`: the paper's 90/10 module-name split within
+  code-length bins.
+- :mod:`repro.datagen.pipeline`: the orchestrator producing a
+  :class:`repro.datagen.records.DatasetBundle`.
+"""
+
+from repro.datagen.pipeline import DatagenConfig, DatasetBundle, run_pipeline
+
+__all__ = ["DatagenConfig", "DatasetBundle", "run_pipeline"]

@@ -1,0 +1,130 @@
+"""Pipeline orchestrator: corpus -> Stage 1 -> Stage 2 -> split -> Stage 3.
+
+``run_pipeline`` is the one-call reproduction of the paper's Section II at
+a configurable scale, returning a :class:`DatasetBundle` with the three
+training datasets, the machine half of the SVA-Eval benchmark, and the
+bookkeeping statistics the paper reports (dataset sizes, CoT validity,
+SVA/bug rejection counts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.corpus.generator import CorpusGenerator
+from repro.datagen.records import (
+    SvaBugEntry,
+    SvaEvalCase,
+    VerilogBugEntry,
+    VerilogPTEntry,
+    distribution_table,
+)
+from repro.datagen.split import assert_disjoint, split_by_module_name
+from repro.datagen.stage1 import run_stage1
+from repro.datagen.stage2 import run_stage2
+from repro.datagen.stage3 import run_stage3
+from repro.sva.bmc import BmcConfig
+
+
+class DatagenConfig:
+    """Scale and rate knobs.
+
+    The paper runs on 108,971 corpus samples; ``n_designs`` scales the
+    whole pipeline down while preserving every stage's behaviour (the
+    bundle's ``stats`` record both our counts and the paper's).
+    """
+
+    def __init__(self, n_designs: int = 60, bugs_per_design: int = 4,
+                 seed: int = 2025, break_rate: float = 0.25,
+                 hallucination_rate: float = 0.15,
+                 train_fraction: float = 0.9,
+                 bmc_depth: int = 10, bmc_random_trials: int = 24):
+        self.n_designs = n_designs
+        self.bugs_per_design = bugs_per_design
+        self.seed = seed
+        self.break_rate = break_rate
+        self.hallucination_rate = hallucination_rate
+        self.train_fraction = train_fraction
+        self.bmc_depth = bmc_depth
+        self.bmc_random_trials = bmc_random_trials
+
+    def bmc(self) -> BmcConfig:
+        return BmcConfig(depth=self.bmc_depth,
+                         random_trials=self.bmc_random_trials,
+                         seed=self.seed)
+
+
+class DatasetBundle:
+    """Everything the training and evaluation phases consume."""
+
+    def __init__(self):
+        self.verilog_pt: List[VerilogPTEntry] = []
+        self.verilog_bug: List[VerilogBugEntry] = []
+        self.sva_bug_train: List[SvaBugEntry] = []
+        self.sva_eval_machine: List[SvaEvalCase] = []
+        self.stats: Dict[str, object] = {}
+
+    def summary(self) -> str:
+        lines = ["DatasetBundle:"]
+        lines.append(f"  Verilog-PT entries:   {len(self.verilog_pt)} "
+                     f"(paper: 22,646)")
+        lines.append(f"  Verilog-Bug entries:  {len(self.verilog_bug)} "
+                     f"(paper: 36,650)")
+        lines.append(f"  SVA-Bug train:        {len(self.sva_bug_train)} "
+                     f"(paper: 7,842)")
+        lines.append(f"  SVA-Eval-Machine:     {len(self.sva_eval_machine)} "
+                     f"(paper: 877)")
+        rate = self.stats.get("cot_validity_rate")
+        if isinstance(rate, float):
+            lines.append(f"  CoT validity:         {rate:.2%} (paper: 74.55%)")
+        return "\n".join(lines)
+
+
+def run_pipeline(config: DatagenConfig) -> DatasetBundle:
+    """Run the full Section-II pipeline at the configured scale."""
+    bundle = DatasetBundle()
+
+    generator = CorpusGenerator(seed=config.seed)
+    seeds = generator.generate(config.n_designs)
+
+    stage1 = run_stage1(seeds, random.Random(config.seed + 10),
+                        break_rate=config.break_rate)
+    bundle.verilog_pt = stage1.pt_entries
+
+    stage2 = run_stage2(stage1.compiled, seed=config.seed + 20,
+                        bugs_per_design=config.bugs_per_design,
+                        hallucination_rate=config.hallucination_rate,
+                        bmc=config.bmc())
+    bundle.verilog_bug = stage2.verilog_bug_entries
+
+    train, test = split_by_module_name(
+        stage2.sva_bug_entries, random.Random(config.seed + 30),
+        train_fraction=config.train_fraction)
+    assert_disjoint(train, test)
+
+    stage3 = run_stage3(train, seed=config.seed + 40)
+    bundle.sva_bug_train = stage3.entries
+
+    bundle.sva_eval_machine = [
+        SvaEvalCase(f"machine_{i:04d}", entry, origin="machine")
+        for i, entry in enumerate(test)
+    ]
+
+    bundle.stats = {
+        "n_designs": config.n_designs,
+        "stage1_filtered": stage1.filtered_count,
+        "stage1_duplicates": stage1.duplicate_count,
+        "stage1_failed_compile": stage1.failed_compile_count,
+        "stage2_accepted_svas": stage2.accepted_svas,
+        "stage2_rejected_svas": stage2.rejected_svas,
+        "stage2_rejected_bugs_syntax": stage2.rejected_bugs_syntax,
+        "stage2_sim_errors": stage2.sim_error_count,
+        "cot_validity_rate": stage3.validity_rate,
+        "train_fraction_target": config.train_fraction,
+        "sva_bug_distribution": distribution_table(
+            bundle.sva_bug_train),
+        "sva_eval_distribution": distribution_table(
+            [case.entry for case in bundle.sva_eval_machine]),
+    }
+    return bundle

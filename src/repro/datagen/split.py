@@ -1,0 +1,55 @@
+"""The paper's train/test split (Section II, Stage 2, steps 1-3).
+
+1. Organise buggy code into code-length bins (0,50], (50,100], (100,150],
+   (150,200], (200,+inf);
+2. enumerate unique module names within each bin;
+3. uniformly select 90% of the module names (and all their cases) for
+   training; the rest seed the SVA-Eval-Machine benchmark.
+
+Splitting by *module name* keeps train and test completely separate: no
+design contributes cases to both sides.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.bugs.taxonomy import length_bin_of
+from repro.datagen.records import SvaBugEntry
+
+
+def split_by_module_name(entries: List[SvaBugEntry], rng: random.Random,
+                         train_fraction: float = 0.9
+                         ) -> Tuple[List[SvaBugEntry], List[SvaBugEntry]]:
+    """Return (train, test) with module-name disjointness per length bin."""
+    bins: Dict[object, Dict[str, List[SvaBugEntry]]] = {}
+    for entry in entries:
+        bin_key = length_bin_of(entry.line_count)
+        bins.setdefault(bin_key, {}).setdefault(
+            entry.record.design_name, []).append(entry)
+
+    train: List[SvaBugEntry] = []
+    test: List[SvaBugEntry] = []
+    for bin_key in sorted(bins, key=lambda b: (b[0], b[1] is None, b[1] or 0)):
+        by_name = bins[bin_key]
+        names = sorted(by_name)
+        rng.shuffle(names)
+        cut = int(round(len(names) * train_fraction))
+        if len(names) > 1:
+            cut = min(max(cut, 1), len(names) - 1)
+        for name in names[:cut]:
+            train.extend(by_name[name])
+        for name in names[cut:]:
+            test.extend(by_name[name])
+    return train, test
+
+
+def assert_disjoint(train: List[SvaBugEntry], test: List[SvaBugEntry]) -> None:
+    """Raise if any module name appears on both sides."""
+    train_names = {e.record.design_name for e in train}
+    test_names = {e.record.design_name for e in test}
+    overlap = train_names & test_names
+    if overlap:
+        raise AssertionError(
+            f"train/test share module names: {sorted(overlap)[:5]}")

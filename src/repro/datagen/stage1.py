@@ -1,0 +1,138 @@
+"""Stage 1 — filtering, syntax checking, and the Verilog-PT dataset.
+
+The paper filters its raw corpus (incomplete modules, logic-free stubs,
+duplicates), syntax-checks the rest with Icarus, has GPT-4 write specs, and
+keeps *non-compiling* code — paired with a failure analysis — in the
+Verilog-PT pretraining set.
+
+Offline we reconstruct the same flow: the raw stream mixes golden template
+instances with junk samples (so the filters do real work) and
+syntax-broken variants (so the compiler check and failure analyses do real
+work).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.meta import DesignSeed
+from repro.corpus.syntax_breaker import break_syntax
+from repro.datagen.records import VerilogPTEntry
+from repro.oracles.spec import analyze_compile_failure, write_spec
+from repro.verilog.compile import compile_source
+
+# Junk families the paper's filters remove before the compiler even runs.
+_JUNK_SAMPLES = [
+    # (1) incomplete: lacks module/endmodule.
+    "assign y = a & b;\n",
+    "  wire t;\n  assign t = 1'b0;\n",
+    # (2) no functional logic: initialisation/assignment only.
+    "module stub_init ();\n  reg r;\n  initial\n    r = 1'b0;\nendmodule\n",
+    "module stub_empty ();\nendmodule\n",
+]
+
+
+def is_filtered_out(source: str) -> Optional[str]:
+    """Apply the paper's three filter criteria.  Returns the reason or None.
+
+    Criteria: (1) incomplete code lacking module/endmodule; (2) code with
+    no functional logic (only initialisation/assignments to constants);
+    (3) duplicates are handled by the caller (needs corpus-wide state).
+    """
+    if "module" not in source or "endmodule" not in source:
+        return "incomplete"
+    body = source.split(";", 1)[-1]
+    has_logic = any(kw in body for kw in ("always", "assign", "case", "if"))
+    if not has_logic:
+        return "no_functional_logic"
+    if "assign" in body and "always" not in body:
+        # Only constant assignments (no identifier on any RHS) count as
+        # logic-free.
+        import re
+        rhs_ids = re.findall(r"=\s*([A-Za-z_][\w]*)", body)
+        if not rhs_ids:
+            return "no_functional_logic"
+    return None
+
+
+class Stage1Result:
+    """Outputs of Stage 1."""
+
+    def __init__(self):
+        self.compiled: List[DesignSeed] = []
+        self.pt_entries: List[VerilogPTEntry] = []
+        self.filtered_count = 0
+        self.duplicate_count = 0
+        self.failed_compile_count = 0
+
+
+def run_stage1(seeds: List[DesignSeed], rng: random.Random,
+               break_rate: float = 0.25,
+               junk_rate: float = 0.1) -> Stage1Result:
+    """Run the filter -> syntax-check -> spec/analysis flow.
+
+    ``break_rate`` of the golden seeds get a syntax-broken sibling (feeding
+    the failure-analysis path); ``junk_rate`` controls how much junk is
+    mixed in for the filters to remove.
+    """
+    result = Stage1Result()
+    seen_sources = set()
+
+    # Mix junk into the stream so the filters are exercised.
+    junk_budget = int(len(seeds) * junk_rate) + 1
+    raw_stream: List[Tuple[Optional[DesignSeed], str]] = \
+        [(seed, seed.source) for seed in seeds]
+    for i in range(junk_budget):
+        raw_stream.append((None, _JUNK_SAMPLES[i % len(_JUNK_SAMPLES)]))
+    rng.shuffle(raw_stream)
+
+    for seed, source in raw_stream:
+        reason = is_filtered_out(source)
+        if reason is not None:
+            result.filtered_count += 1
+            continue
+        if source in seen_sources:
+            result.duplicate_count += 1
+            continue
+        seen_sources.add(source)
+
+        compile_result = compile_source(source)
+        meta = seed.meta if seed is not None else None
+        if not compile_result.ok:
+            result.failed_compile_count += 1
+            spec = write_spec(source, meta)
+            analysis = analyze_compile_failure(source)
+            result.pt_entries.append(VerilogPTEntry(
+                source, spec, analysis, compiles=False))
+            continue
+
+        if seed is not None:
+            result.compiled.append(seed)
+            # Clean code + spec also contributes structural insight to PT.
+            result.pt_entries.append(VerilogPTEntry(
+                source, write_spec(source, meta), compiles=True))
+            # A fraction of samples get a syntax-broken sibling, standing in
+            # for the paper's naturally-occurring non-compiling corpus code.
+            if rng.random() < break_rate:
+                broken = break_syntax(source, rng)
+                if broken is not None:
+                    kind, broken_source = broken
+                    check = compile_source(broken_source)
+                    if not check.ok:
+                        result.failed_compile_count += 1
+                        result.pt_entries.append(VerilogPTEntry(
+                            broken_source,
+                            write_spec(broken_source, meta),
+                            analyze_compile_failure(broken_source),
+                            compiles=False, break_kind=kind))
+    return result
+
+
+def generate_stage1(count: int, seed: int = 0,
+                    break_rate: float = 0.25) -> Stage1Result:
+    """Convenience wrapper: generate ``count`` designs and run Stage 1."""
+    generator = CorpusGenerator(seed=seed)
+    seeds = generator.generate(count)
+    return run_stage1(seeds, random.Random(seed + 1), break_rate=break_rate)

@@ -1,0 +1,146 @@
+"""Stage 2 — key components generation and validation.
+
+For every compiled design:
+
+1. The SVA oracle (Claude-3.5 surrogate) proposes assertions; each one is
+   inserted into the *golden* design, compiled, and bounded-checked.
+   Proposals that fail either step are hallucinations and are dropped.
+2. The bug injector proposes mutations; mutants that fail compilation are
+   dropped (the paper "employed the compiler again to identify and
+   eliminate syntax errors introduced during the random bug generation").
+3. Each surviving bug is checked against the validated SVAs.  If an
+   assertion fires, the case becomes an SVA-Bug candidate (with its logs
+   and Direct/Indirect classification); otherwise it becomes a Verilog-Bug
+   entry — a real functional bug the available assertions failed to cover.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.bugs.classify import classify_relation
+from repro.bugs.injector import BugInjector
+from repro.corpus.meta import DesignSeed
+from repro.datagen.records import SvaBugEntry, VerilogBugEntry
+from repro.oracles.spec import write_spec
+from repro.oracles.sva import SvaOracle, SvaProposal
+from repro.sva.bmc import BmcConfig, bounded_check
+from repro.sva.insert import compile_with_sva
+from repro.verilog.compile import compile_source
+from repro.verilog.parser import parse_module
+from repro.verilog.writer import write_module
+
+
+class Stage2Result:
+    def __init__(self):
+        self.sva_bug_entries: List[SvaBugEntry] = []
+        self.verilog_bug_entries: List[VerilogBugEntry] = []
+        self.rejected_svas = 0
+        self.accepted_svas = 0
+        self.rejected_bugs_syntax = 0
+        self.sim_error_count = 0
+
+
+def validate_svas(seed: DesignSeed, proposals: List[SvaProposal],
+                  bmc: BmcConfig) -> "tuple[List[SvaProposal], int]":
+    """Keep proposals that compile into and hold on the golden design."""
+    valid: List[SvaProposal] = []
+    rejected = 0
+    for proposal in proposals:
+        combined = compile_with_sva(seed.source, proposal.blocks())
+        if not combined.ok:
+            rejected += 1
+            continue
+        check = bounded_check(combined.design, bmc)
+        if not check.passed_bound:
+            rejected += 1
+            continue
+        valid.append(proposal)
+    return valid, rejected
+
+
+def process_design(seed: DesignSeed, sva_oracle: SvaOracle,
+                   injector: BugInjector, bugs_per_design: int,
+                   bmc: BmcConfig,
+                   result: Optional[Stage2Result] = None) -> Stage2Result:
+    """Run Stage 2 for one design."""
+    result = result or Stage2Result()
+    spec = write_spec(seed.source, seed.meta)
+
+    proposals = sva_oracle.propose(seed)
+    valid_svas, rejected = validate_svas(seed, proposals, bmc)
+    result.rejected_svas += rejected
+    result.accepted_svas += len(valid_svas)
+    if not valid_svas:
+        return result
+    sva_blocks: List[str] = []
+    for proposal in valid_svas:
+        sva_blocks.extend(proposal.blocks())
+
+    records = injector.inject_many(seed.source, bugs_per_design, seed.name)
+    for record in records:
+        buggy_check = compile_source(record.buggy_source)
+        if not buggy_check.ok:
+            result.rejected_bugs_syntax += 1
+            continue
+        combined = compile_with_sva(record.buggy_source, sva_blocks)
+        if not combined.ok:
+            result.rejected_bugs_syntax += 1
+            continue
+        check = bounded_check(combined.design, bmc)
+        if check.sim_error is not None:
+            result.sim_error_count += 1
+            continue
+        if check.failed:
+            module = combined.module
+            buggy_with_sva = write_module(module)
+            # Recompute the golden line inside the SVA-carrying source: SVA
+            # insertion appends after the RTL, so RTL line numbers are
+            # unchanged — assert that invariant instead of trusting it.
+            buggy_lines = buggy_with_sva.splitlines()
+            if buggy_lines[record.line - 1].strip() != record.buggy_line:
+                result.sim_error_count += 1
+                continue
+            labels = sorted({f.label for f in check.failures})
+            signals = _failing_assertion_signals(buggy_with_sva, labels)
+            relation = classify_relation(parse_module(record.buggy_source),
+                                         record.line, signals)
+            result.sva_bug_entries.append(SvaBugEntry(
+                record=record, spec=spec,
+                buggy_source_with_sva=buggy_with_sva,
+                logs=check.log_text(), failing_labels=labels,
+                relation=relation, assertion_signals=signals))
+        else:
+            result.verilog_bug_entries.append(VerilogBugEntry(record, spec))
+    return result
+
+
+def _failing_assertion_signals(source_with_sva: str,
+                               labels: List[str]) -> List[str]:
+    """Union of identifiers in the failing assertions' property bodies."""
+    from repro.bugs.classify import assertion_expr_signals
+    module = parse_module(source_with_sva)
+    signals: List[str] = []
+    for label in labels:
+        for name in assertion_expr_signals(module, label):
+            if name not in signals:
+                signals.append(name)
+    return signals
+
+
+def run_stage2(seeds: List[DesignSeed], seed: int = 0,
+               bugs_per_design: int = 4,
+               hallucination_rate: float = 0.15,
+               bmc: Optional[BmcConfig] = None) -> Stage2Result:
+    """Run Stage 2 over a list of compiled designs."""
+    rng = random.Random(seed)
+    sva_oracle = SvaOracle(random.Random(seed + 1),
+                           hallucination_rate=hallucination_rate)
+    injector = BugInjector(random.Random(seed + 2))
+    bmc = bmc or BmcConfig(depth=10, random_trials=24)
+    result = Stage2Result()
+    for design_seed in seeds:
+        process_design(design_seed, sva_oracle, injector, bugs_per_design,
+                       bmc, result)
+    return result

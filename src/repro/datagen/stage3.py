@@ -1,0 +1,48 @@
+"""Stage 3 — CoT generation and validation.
+
+The CoT oracle writes a reasoning chain for each training SVA-Bug entry;
+a validation script compares the chain's conclusion with the golden
+solution.  Entries with a correct chain keep it (and their question gains
+the 'step by step' marker); entries with a wrong chain keep only the plain
+buggy-line/fix answer — matching the paper's two entry forms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.datagen.records import SvaBugEntry
+from repro.oracles.cot import CotOracle
+
+
+class Stage3Result:
+    def __init__(self):
+        self.entries: List[SvaBugEntry] = []
+        self.generated = 0
+        self.validated = 0
+
+    @property
+    def validity_rate(self) -> float:
+        if not self.generated:
+            return 0.0
+        return self.validated / self.generated
+
+
+def run_stage3(entries: List[SvaBugEntry], seed: int = 0,
+               oracle: Optional[CotOracle] = None) -> Stage3Result:
+    """Attach validated CoTs to training entries (in place) and report the
+    observed validity rate (paper: 74.55%)."""
+    oracle = oracle or CotOracle(random.Random(seed))
+    result = Stage3Result()
+    for entry in entries:
+        proposal = oracle.generate(entry.record, entry.logs,
+                                   entry.assertion_signals)
+        result.generated += 1
+        if proposal.is_correct_for(entry.record):
+            entry.cot = proposal.text
+            result.validated += 1
+        else:
+            entry.cot = None
+        result.entries.append(entry)
+    return result

@@ -1,0 +1,31 @@
+"""Evaluation: the SVA-Eval benchmark, pass@k, bucketed analyses and the
+experiment runners that regenerate every table and figure of the paper."""
+
+from repro.eval.passk import aggregate_pass_at_k, pass_at_k
+
+__all__ = [
+    "pass_at_k",
+    "aggregate_pass_at_k",
+    "SvaEvalBenchmark",
+    "build_benchmark",
+    "EvalResult",
+    "evaluate_model",
+    "is_correct",
+]
+
+_LAZY = {
+    "SvaEvalBenchmark": "repro.eval.benchmark",
+    "build_benchmark": "repro.eval.benchmark",
+    "EvalResult": "repro.eval.runner",
+    "evaluate_model": "repro.eval.runner",
+    "is_correct": "repro.eval.runner",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.eval' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,54 @@
+"""SVA-Eval benchmark assembly.
+
+The paper's benchmark has 877 machine-generated cases (the held-out 10% of
+the Stage-2 split) and 38 human-crafted cases from RTLLM.  Ours scales with
+the pipeline configuration: the machine half comes from the bundle's test
+split; the human half from :mod:`repro.corpus.human` (34 hand-validated
+cases).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.corpus.human import build_human_cases
+from repro.datagen.pipeline import DatasetBundle
+from repro.datagen.records import SvaEvalCase
+
+
+class SvaEvalBenchmark:
+    """The evaluation suite, split by origin."""
+
+    def __init__(self, machine: List[SvaEvalCase], human: List[SvaEvalCase]):
+        self.machine = machine
+        self.human = human
+
+    @property
+    def cases(self) -> List[SvaEvalCase]:
+        return self.machine + self.human
+
+    def subset(self, origin: str) -> List[SvaEvalCase]:
+        if origin == "machine":
+            return self.machine
+        if origin == "human":
+            return self.human
+        if origin == "all":
+            return self.cases
+        raise ValueError(f"unknown origin {origin!r}")
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def summary(self) -> str:
+        return (f"SVA-Eval: {len(self.machine)} machine (paper: 877) + "
+                f"{len(self.human)} human (paper: 38) = {len(self)} cases")
+
+
+def build_benchmark(bundle: DatasetBundle,
+                    include_human: bool = True,
+                    human_cases: Optional[List[SvaEvalCase]] = None
+                    ) -> SvaEvalBenchmark:
+    """Assemble SVA-Eval from a dataset bundle (+ the human suite)."""
+    if human_cases is None:
+        human_cases = build_human_cases() if include_human else []
+    return SvaEvalBenchmark(list(bundle.sva_eval_machine), human_cases)

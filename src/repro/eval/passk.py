@@ -1,0 +1,36 @@
+"""The unbiased pass@k estimator (paper Section IV-D).
+
+    pass@k = E_problems[ 1 - C(n-c, k) / C(n, k) ]
+
+with n generated solutions per problem, c of them correct.  The estimator
+is exact for each problem and averaged over problems; the paper uses
+n = 20 and k in {1, 5}.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterable, List
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased single-problem estimate of P(at least 1 of top-k correct)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= c <= n:
+        raise ValueError(f"c must be in [0, n]; got c={c}, n={n}")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k >= n:
+        return 1.0 if c > 0 else 0.0
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def aggregate_pass_at_k(counts: Iterable["tuple[int, int]"], k: int) -> float:
+    """Average pass@k over (n, c) pairs, one per problem."""
+    values: List[float] = [pass_at_k(n, c, k) for n, c in counts]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

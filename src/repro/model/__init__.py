@@ -1,0 +1,33 @@
+"""The AssertSolver surrogate model (paper Section III).
+
+The paper fine-tunes Deepseek-Coder-6.7b in three stages; offline we build
+a *trainable* surrogate whose three stages play the same roles and are
+genuinely learned from the generated datasets:
+
+- **PT** (:mod:`repro.model.ngram_lm`): an interpolated n-gram language
+  model trained on Verilog-PT text.  Its contribution downstream is
+  surprisal: mutated lines sit off the distribution of healthy Verilog, so
+  LM score is a strong localization feature — the mechanism by which
+  "continual pretraining boosts downstream performance" shows up here.
+- **SFT** (:mod:`repro.model.sft`): a linear-softmax ranker over the
+  repair-candidate space (:mod:`repro.model.candidates`), trained with
+  cross-entropy on ⟨Question, Answer⟩ pairs from SVA-Bug (+ Verilog-Bug as
+  the auxiliary task).
+- **DPO** (:mod:`repro.model.dpo`): preference optimisation (β = 0.1) on
+  challenging cases — train inputs where 20 temperature samples from the
+  SFT policy contain at least one wrong answer — sharpening the policy
+  exactly as the paper describes (higher pass@1, lower diversity).
+
+Inference (:class:`repro.model.assertsolver.AssertSolver`) samples n = 20
+JSON responses at temperature 0.2, mirroring Section IV-E.
+"""
+
+__all__ = ["AssertSolver", "SolverResponse"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from repro.model import assertsolver
+
+        return getattr(assertsolver, name)
+    raise AttributeError(f"module 'repro.model' has no attribute {name!r}")

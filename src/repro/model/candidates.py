@@ -1,0 +1,139 @@
+"""Repair-candidate enumeration: the models' decoding space.
+
+Because the mutation operators are closed under inversion, enumerating all
+single-line mutations *of the buggy design* yields a candidate set that
+contains the golden fix (the inverse of whatever was injected).  A model's
+"answer" is a choice of candidate: ``(line, repaired line text)``.
+
+Enumeration applies each mutation to a single parsed copy, re-emits the
+canonical text, diffs, and reverts — no per-candidate deep copies.
+Candidates that change zero or multiple lines are skipped; duplicates (two
+operators producing the same edit, e.g. ``+1`` and ``^bit0`` on an even
+constant) are merged, keeping both operator tags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bugs.mutators import enumerate_mutations
+from repro.verilog import ast
+from repro.verilog.parser import parse_module
+from repro.verilog.writer import write_module
+
+
+class RepairCandidate:
+    """One possible answer: replace ``line`` with ``new_line``."""
+
+    __slots__ = ("line", "old_line", "new_line", "op_names", "kinds",
+                 "descriptions")
+
+    def __init__(self, line: int, old_line: str, new_line: str,
+                 op_names: List[str], kinds: List[str],
+                 descriptions: List[str]):
+        self.line = line
+        self.old_line = old_line
+        self.new_line = new_line
+        self.op_names = op_names
+        self.kinds = kinds
+        self.descriptions = descriptions
+
+    @property
+    def key(self):
+        return (self.line, self.new_line)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RepairCandidate(line={self.line}, "
+                f"{self.old_line!r} -> {self.new_line!r})")
+
+
+class CandidateSpace:
+    """All repair candidates of one buggy source, with lookup helpers."""
+
+    def __init__(self, source: str, candidates: List[RepairCandidate]):
+        self.source = source
+        self.candidates = candidates
+        self._by_key: Dict[tuple, RepairCandidate] = {
+            c.key: c for c in candidates}
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    def find(self, line: int, new_line: str) -> Optional[RepairCandidate]:
+        return self._by_key.get((line, " ".join(new_line.split())))
+
+    def golden_index(self, line: int, fixed_line: str) -> Optional[int]:
+        """Index of the golden candidate, or None when out of space."""
+        target = (line, " ".join(fixed_line.split()))
+        for i, candidate in enumerate(self.candidates):
+            if candidate.key == target:
+                return i
+        return None
+
+
+def enumerate_repairs(buggy_source: str,
+                      module: Optional[ast.Module] = None) -> CandidateSpace:
+    """Build the candidate space for ``buggy_source``.
+
+    ``module`` may be supplied to skip re-parsing (it will be mutated and
+    restored in place).
+
+    A mutation is confined to one module item, so only that item is
+    re-emitted per candidate — the canonical emission is exactly
+    ``header + item lines + 'endmodule'`` (see
+    :func:`repro.verilog.writer.write_item_lines`), which keeps wide
+    modules (32-entry register files, 32-lane muxes) tractable.
+    """
+    from repro.bugs.mutators import (
+        ModuleMutationContext,
+        enumerate_item_mutations,
+    )
+    from repro.verilog.writer import write_header_lines, write_item_lines
+
+    own_module = module if module is not None else parse_module(buggy_source)
+    header_lines = write_header_lines(own_module)
+    context = ModuleMutationContext(own_module)
+
+    merged: Dict[tuple, RepairCandidate] = {}
+    all_lines: List[str] = list(header_lines)
+    offset = len(header_lines)
+    per_item: List[tuple] = []
+    for item in own_module.items:
+        item_lines = write_item_lines(item)
+        per_item.append((item, item_lines, offset))
+        all_lines.extend(item_lines)
+        offset += len(item_lines)
+    all_lines.append("endmodule")
+    baseline = "\n".join(all_lines) + "\n"
+
+    for item, item_lines, item_offset in per_item:
+        for mutation in enumerate_item_mutations(item, context):
+            mutation.apply()
+            emitted = write_item_lines(item)
+            mutation.revert()
+            if emitted == item_lines or len(emitted) != len(item_lines):
+                continue
+            diffs = [i for i, (a, b) in enumerate(zip(item_lines, emitted))
+                     if a != b]
+            if len(diffs) != 1:
+                continue
+            index = diffs[0]
+            line_no = item_offset + index + 1
+            old_line = " ".join(item_lines[index].split())
+            new_line = " ".join(emitted[index].split())
+            key = (line_no, new_line)
+            existing = merged.get(key)
+            if existing is not None:
+                if mutation.op_name not in existing.op_names:
+                    existing.op_names.append(mutation.op_name)
+                    existing.kinds.append(mutation.kind.value)
+                    existing.descriptions.append(mutation.description)
+            else:
+                merged[key] = RepairCandidate(
+                    line_no, old_line, new_line, [mutation.op_name],
+                    [mutation.kind.value], [mutation.description])
+    ordered = sorted(merged.values(), key=lambda c: (c.line, c.new_line))
+    return CandidateSpace(baseline, ordered)

@@ -1,0 +1,84 @@
+"""Supervised fine-tuning: cross-entropy over the candidate space.
+
+The policy is a linear softmax over repair candidates,
+``pi(c | x) = softmax(F(x) w)_c`` — the smallest model family in which the
+paper's three-stage recipe (PT features -> supervised ranking -> preference
+sharpening) is faithfully expressible and genuinely *trained* from the
+generated data.
+
+``TrainExample`` holds a case's feature matrix and the golden candidate
+index; :func:`train_sft` runs mini-batchless SGD with L2 regularisation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.model.features import DIM
+
+
+class TrainExample:
+    """One ranking example: candidates' features + golden index."""
+
+    __slots__ = ("features", "gold_index", "weight", "tag")
+
+    def __init__(self, features: np.ndarray, gold_index: int,
+                 weight: float = 1.0, tag: str = ""):
+        if not 0 <= gold_index < features.shape[0]:
+            raise ValueError(
+                f"gold index {gold_index} out of range for "
+                f"{features.shape[0]} candidates")
+        self.features = features
+        self.gold_index = gold_index
+        self.weight = weight
+        self.tag = tag
+
+
+class SftStats:
+    def __init__(self):
+        self.epoch_losses: List[float] = []
+        self.final_train_accuracy = 0.0
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+def train_sft(examples: List[TrainExample], epochs: int = 12,
+              lr: float = 0.5, l2: float = 1e-4,
+              seed: int = 0,
+              init: Optional[np.ndarray] = None
+              ) -> "tuple[np.ndarray, SftStats]":
+    """Train the ranker; returns (weights, stats)."""
+    rng = random.Random(seed)
+    weights = np.zeros(DIM) if init is None else init.copy()
+    stats = SftStats()
+    if not examples:
+        return weights, stats
+    order = list(range(len(examples)))
+    for epoch in range(epochs):
+        rng.shuffle(order)
+        total_loss = 0.0
+        step_lr = lr / (1.0 + 0.3 * epoch)
+        for index in order:
+            example = examples[index]
+            logits = example.features @ weights
+            probs = softmax(logits)
+            loss = -np.log(max(probs[example.gold_index], 1e-12))
+            total_loss += loss * example.weight
+            grad = example.features.T @ probs \
+                - example.features[example.gold_index]
+            weights -= step_lr * example.weight * (grad + l2 * weights)
+        stats.epoch_losses.append(total_loss / len(examples))
+    correct = 0
+    for example in examples:
+        logits = example.features @ weights
+        if int(np.argmax(logits)) == example.gold_index:
+            correct += 1
+    stats.final_train_accuracy = correct / len(examples)
+    return weights, stats

@@ -1,0 +1,74 @@
+"""Verilog-aware tokenization for the n-gram language model.
+
+Identifiers are kept whole, numbers are bucketed by magnitude class (so
+``8'd3`` and ``8'd5`` share a token but ``8'd0`` is distinct — zero/one
+literals carry structural meaning), and operators are single tokens.  The
+goal is a vocabulary where a one-token mutation usually produces a
+lower-probability line, which is exactly the signal the localization
+features need.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<num>\d+'[sS]?[bdohBDOH][0-9a-fA-FxXzZ_?]+|\d+)
+  | (?P<id>[A-Za-z_$][A-Za-z0-9_$]*)
+  | (?P<op><<<|>>>|===|!==|\|=>|\|->|==|!=|<=|>=|&&|\|\||<<|>>|\*\*|\#\#|[-+*/%&|^~!<>=?:;,.(){}\[\]@#])
+    """,
+    re.VERBOSE,
+)
+
+BOS = "<s>"
+EOS = "</s>"
+
+
+def _number_token(text: str) -> str:
+    """Map a numeric literal to a value-class token.
+
+    Small values (0-15) stay distinct — a +/-1 constant mutation must move
+    the line to a different token sequence for the LM to notice it.  Large
+    values are bucketed by magnitude; their repair signal comes from the
+    literal-consistency features instead.
+    """
+    if "'" in text:
+        base_char = text.split("'", 1)[1][0].lower()
+        if base_char == "s":
+            base_char = text.split("'", 1)[1][1].lower()
+        digits = text.split(base_char, 1)[1].replace("_", "")
+        base = {"b": 2, "d": 10, "o": 8, "h": 16}.get(base_char, 10)
+        try:
+            value = int(digits, base)
+        except ValueError:
+            return "<NUMX>"
+    else:
+        value = int(text)
+    if value < 16:
+        return f"<NUM:{value}>"
+    if value < 64:
+        return "<NUMS>"
+    return "<NUML>"
+
+
+def tokenize_line(line: str) -> List[str]:
+    """Token stream of one source line (no sentinels)."""
+    tokens: List[str] = []
+    for match in _TOKEN_RE.finditer(line):
+        if match.lastgroup == "num":
+            tokens.append(_number_token(match.group()))
+        else:
+            tokens.append(match.group())
+    return tokens
+
+
+def tokenize_text(text: str) -> List[List[str]]:
+    """Per-line token streams for a whole source text, skipping blanks."""
+    lines = []
+    for raw in text.splitlines():
+        tokens = tokenize_line(raw.strip())
+        if tokens:
+            lines.append(tokens)
+    return lines

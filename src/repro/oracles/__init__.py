@@ -1,0 +1,29 @@
+"""Annotation oracles — surrogates for the paper's LLM annotators.
+
+The paper uses GPT-4 (specs, failure analyses, CoTs) and Claude-3.5 (bug +
+SVA generation) as *noisy annotators whose output is validated by EDA
+tools*.  Offline we substitute rule-based generators with controlled
+imperfection, so every validation path in the pipeline stays exercised:
+
+- :mod:`repro.oracles.spec` — design-specification writer (perfect: spec
+  errors are not load-bearing in the paper's pipeline);
+- :mod:`repro.oracles.sva` — SVA synthesizer with a hallucination model
+  (invalid or ill-formed assertions at a configurable rate, which Stage 2
+  must filter via compile + bounded checking);
+- :mod:`repro.oracles.cot` — chain-of-thought writer calibrated to the
+  paper's 74.55% validity rate, with Stage 3's golden-solution comparison
+  deciding which entries keep their CoT.
+"""
+
+from repro.oracles.spec import analyze_compile_failure, write_spec
+from repro.oracles.sva import SvaOracle, SvaProposal
+from repro.oracles.cot import CotOracle, CotProposal
+
+__all__ = [
+    "write_spec",
+    "analyze_compile_failure",
+    "SvaOracle",
+    "SvaProposal",
+    "CotOracle",
+    "CotProposal",
+]

@@ -1,0 +1,114 @@
+"""Chain-of-thought generation (GPT-4 surrogate), Stage 3.
+
+The paper prompts GPT-4 with (Spec, buggy code, logs, bug location) and
+asks for a reasoning chain; a script then validates the CoT against the
+golden solution, finding ~74.55% of chains correct.  Our surrogate writes a
+signal-tracing argument from the def-use cone of the failing assertion; at
+a configurable error rate it derails onto a *plausible distractor line*
+(another driver in the same cone) so the Stage-3 validator has real work
+to do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.bugs.injector import BugRecord
+from repro.verilog.analysis import DefUse
+from repro.verilog.parser import parse_module
+
+
+class CotProposal:
+    """A reasoning chain plus the (line, fix) conclusion it argues for."""
+
+    __slots__ = ("text", "concluded_line", "concluded_fix")
+
+    def __init__(self, text: str, concluded_line: int, concluded_fix: str):
+        self.text = text
+        self.concluded_line = concluded_line
+        self.concluded_fix = concluded_fix
+
+    def is_correct_for(self, record: BugRecord) -> bool:
+        """Stage-3 validation: conclusion must match the golden solution."""
+        return (self.concluded_line == record.line
+                and _normalize(self.concluded_fix) == _normalize(record.fixed_line))
+
+
+def _normalize(line: str) -> str:
+    return " ".join(line.split())
+
+
+class CotOracle:
+    """Seeded CoT writer calibrated to the paper's ~74.55% validity."""
+
+    # The paper reports 74.55% of generated CoTs validated as correct.
+    PAPER_VALIDITY_RATE = 0.7455
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 validity_rate: Optional[float] = None):
+        self.rng = rng or random.Random(0)
+        self.validity_rate = (self.PAPER_VALIDITY_RATE if validity_rate is None
+                              else validity_rate)
+
+    def generate(self, record: BugRecord, log_text: str,
+                 assertion_signals: List[str]) -> CotProposal:
+        """One reasoning chain for a failing case."""
+        module = parse_module(record.buggy_source)
+        defuse = DefUse(module)
+        cone = sorted(defuse.fanin_cone(assertion_signals))
+        if self.rng.random() < self.validity_rate:
+            return self._correct_chain(record, log_text, cone)
+        return self._derailed_chain(record, log_text, cone, defuse)
+
+    # -- chains -------------------------------------------------------------
+
+    def _preamble(self, log_text: str, cone: List[str]) -> List[str]:
+        steps = []
+        first_log = log_text.splitlines()[0] if log_text else "an assertion failed"
+        steps.append(f"Step 1: The log reports '{first_log}'.")
+        steps.append(
+            "Step 2: The signals feeding the failing property are: "
+            + ", ".join(cone[:8]) + ".")
+        return steps
+
+    def _correct_chain(self, record: BugRecord, log_text: str,
+                       cone: List[str]) -> CotProposal:
+        steps = self._preamble(log_text, cone)
+        steps.append(
+            f"Step 3: Tracing those drivers, line {record.line} "
+            f"('{record.buggy_line}') updates a signal in the property cone "
+            f"and its expression does not match the specified behaviour.")
+        steps.append(
+            f"Step 4: The {record.kind.value}-type error is "
+            f"'{record.description}'; restoring the intended expression "
+            f"gives '{record.fixed_line}'.")
+        steps.append(
+            f"Conclusion: replace line {record.line} with "
+            f"'{record.fixed_line}'.")
+        return CotProposal("\n".join(steps), record.line, record.fixed_line)
+
+    def _derailed_chain(self, record: BugRecord, log_text: str,
+                        cone: List[str], defuse: DefUse) -> CotProposal:
+        # Pick a plausible distractor: another definition line in the cone.
+        distractor_lines = sorted(
+            line for line in defuse.cone_lines(cone) if line != record.line)
+        buggy_lines = record.buggy_source.splitlines()
+        if distractor_lines:
+            wrong_line = self.rng.choice(distractor_lines)
+        else:
+            wrong_line = max(1, record.line - 1)
+        wrong_line = min(wrong_line, len(buggy_lines))
+        wrong_text = buggy_lines[wrong_line - 1].strip()
+        steps = self._preamble(log_text, cone)
+        steps.append(
+            f"Step 3: Line {wrong_line} ('{wrong_text}') drives a signal in "
+            f"the cone and looks inconsistent with the specification.")
+        steps.append(
+            f"Step 4: Adjusting that expression should realign the design "
+            f"with the property.")
+        steps.append(
+            f"Conclusion: replace line {wrong_line} with '{wrong_text}'.")
+        # The derailed chain concludes with the unmodified text, so the
+        # Stage-3 comparison against the golden solution rejects it.
+        return CotProposal("\n".join(steps), wrong_line, wrong_text)

@@ -1,0 +1,98 @@
+"""Design-specification writing (GPT-4 surrogate).
+
+The paper's Stage 1 has GPT-4 write a Spec for every sample and a failure
+analysis for the non-compiling ones.  Our surrogate derives the spec from
+template metadata plus the parsed port list, in the two-section format the
+paper's Fig. 1 sketches (Ports / Function).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.corpus.meta import TemplateMeta
+from repro.verilog.compile import compile_source
+from repro.verilog.errors import Diagnostic
+
+
+def write_spec(source: str, meta: Optional[TemplateMeta] = None,
+               module_name: str = "") -> str:
+    """Render a specification document for ``source``."""
+    result = compile_source(source)
+    lines = []
+    name = module_name
+    if result.module is not None:
+        name = result.module.name
+    lines.append(f"# Specification: {name}")
+    if meta is not None:
+        lines.append("")
+        lines.append(meta.summary)
+    lines.append("")
+    lines.append("## Ports")
+    if result.module is not None:
+        for port in result.module.ports:
+            width = f"[{port.msb}:{port.lsb}] " if port.width > 1 else ""
+            note = ""
+            if meta is not None and port.name in meta.port_notes:
+                note = f" — {meta.port_notes[port.name]}"
+            elif port.name == "clk":
+                note = " — clock"
+            elif port.name in ("rst_n", "rstn"):
+                note = " — asynchronous active-low reset"
+            lines.append(f"- {port.direction} {width}{port.name}{note}")
+    else:
+        lines.append("- (port list unavailable: the design failed to parse)")
+    lines.append("")
+    lines.append("## Function")
+    if meta is not None:
+        for bullet in meta.behaviour:
+            lines.append(f"- {bullet}")
+    else:
+        lines.append("- Behaviour as implied by the module body.")
+    return "\n".join(lines) + "\n"
+
+
+# Human-readable expansions of the compiler diagnostic families; the
+# Verilog-PT analyses pair the failing code with this prose.
+_ANALYSIS_HINTS = [
+    ("expected 'module'", "the file does not start with a module declaration"),
+    ("missing 'endmodule'", "the module declaration is never closed with "
+                            "'endmodule'"),
+    ("missing 'end'", "a 'begin' block is never closed, so the parser ran "
+                      "off the end of the block"),
+    ("is not declared", "an identifier is used without a matching wire/reg "
+                        "declaration"),
+    ("duplicate declaration", "the same name is declared twice in one scope"),
+    ("continuous assignment to reg", "an 'assign' drives a variable declared "
+                                     "as reg; continuous assignments may only "
+                                     "drive nets"),
+    ("procedural assignment to wire", "an always block assigns a net; "
+                                      "procedural assignments may only drive "
+                                      "variables"),
+    ("assignment to input", "the design drives one of its own input ports"),
+    ("driven by both assign and always", "a signal has conflicting structural "
+                                         "and procedural drivers"),
+    ("bad base character", "a numeric literal uses an illegal base specifier"),
+    ("expected", "the token stream violates the grammar at this point"),
+]
+
+
+def analyze_compile_failure(source: str) -> str:
+    """Failure-analysis prose for a non-compiling sample (GPT-4 surrogate).
+
+    Returns an empty string when the source actually compiles.
+    """
+    result = compile_source(source)
+    if result.ok:
+        return ""
+    parts = []
+    for diag in result.errors():
+        explanation = "the construct is not legal Verilog at this position"
+        for needle, prose in _ANALYSIS_HINTS:
+            if needle in diag.message:
+                explanation = prose
+                break
+        where = f"near line {diag.line}" if diag.line else "at an unknown location"
+        parts.append(f"Compilation fails {where}: {diag.message}. "
+                     f"Likely cause: {explanation}.")
+    return "\n".join(parts)

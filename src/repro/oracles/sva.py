@@ -1,0 +1,106 @@
+"""SVA synthesis with a hallucination model (Claude-3.5 surrogate).
+
+The paper has Claude-3.5 generate SVAs for each compiled design and then
+*validates every one with SymbiYosys* because LLMs hallucinate.  Our
+surrogate starts from the template's known-good hints and, at a
+configurable rate, distorts a proposal the way a hallucinating LLM would:
+
+- wrong delay (off by one cycle),
+- inverted consequent polarity,
+- wrong signal in the consequent,
+- missing semicolon (ill-formed source).
+
+Distorted proposals usually fail validation on the golden design and are
+dropped by Stage 2, exactly like the paper's filter.  A distortion that
+*survives* validation is harmless: it is then simply a weaker but true
+property.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import List, Optional
+
+from repro.corpus.meta import DesignSeed, SvaHint
+
+
+class SvaProposal:
+    """One candidate assertion as emitted by the oracle."""
+
+    __slots__ = ("hint", "property_text", "assertion_text", "distortion")
+
+    def __init__(self, hint: SvaHint, property_text: str, assertion_text: str,
+                 distortion: Optional[str] = None):
+        self.hint = hint
+        self.property_text = property_text
+        self.assertion_text = assertion_text
+        self.distortion = distortion
+
+    @property
+    def name(self) -> str:
+        return self.hint.name
+
+    def blocks(self) -> List[str]:
+        return [self.property_text, self.assertion_text]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        tag = f" distorted:{self.distortion}" if self.distortion else ""
+        return f"SvaProposal({self.name}{tag})"
+
+
+class SvaOracle:
+    """Seeded SVA generator with hallucination injection."""
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 hallucination_rate: float = 0.15):
+        self.rng = rng or random.Random(0)
+        self.hallucination_rate = hallucination_rate
+
+    def propose(self, seed: DesignSeed) -> List[SvaProposal]:
+        """One proposal per template hint, a fraction of them distorted."""
+        proposals = []
+        for hint in seed.meta.sva_hints:
+            if self.rng.random() < self.hallucination_rate:
+                proposals.append(self._distort(hint))
+            else:
+                proposals.append(SvaProposal(
+                    hint, hint.property_source(), hint.assertion_source()))
+        return proposals
+
+    # -- distortions -------------------------------------------------------
+
+    def _distort(self, hint: SvaHint) -> SvaProposal:
+        choices = ["delay", "polarity", "signal", "syntax"]
+        if hint.antecedent is None:
+            choices.remove("delay")
+        kind = self.rng.choice(choices)
+        if kind == "delay":
+            wrong = SvaHint(hint.name, hint.consequent, hint.antecedent,
+                            delay=hint.delay + self.rng.choice([1, 2]),
+                            message=hint.message)
+            return SvaProposal(wrong, wrong.property_source(),
+                               wrong.assertion_source(), distortion="delay")
+        if kind == "polarity":
+            wrong = SvaHint(hint.name, f"!({hint.consequent})", hint.antecedent,
+                            delay=hint.delay, message=hint.message)
+            return SvaProposal(wrong, wrong.property_source(),
+                               wrong.assertion_source(), distortion="polarity")
+        if kind == "signal":
+            distorted = self._swap_one_identifier(hint.consequent)
+            wrong = SvaHint(hint.name, distorted, hint.antecedent,
+                            delay=hint.delay, message=hint.message)
+            return SvaProposal(wrong, wrong.property_source(),
+                               wrong.assertion_source(), distortion="signal")
+        # syntax: drop the terminating semicolon of the property body.
+        prop_text = hint.property_source().replace(";\nendproperty",
+                                                   "\nendproperty", 1)
+        return SvaProposal(hint, prop_text, hint.assertion_source(),
+                           distortion="syntax")
+
+    def _swap_one_identifier(self, expr: str) -> str:
+        names = re.findall(r"(?<![\$\w])[A-Za-z_][A-Za-z0-9_]*", expr)
+        if not names:
+            return expr + " && ghost_signal"
+        victim = self.rng.choice(names)
+        return re.sub(rf"\b{victim}\b", f"{victim}_ghost", expr, count=1)

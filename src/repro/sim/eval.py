@@ -1,0 +1,200 @@
+"""Expression evaluation over 4-state environments.
+
+Used by three clients with different environments:
+
+- the simulator (current signal values, no temporal functions);
+- the SVA monitor (trace-backed environment where ``$past``/``$rose``/
+  ``$fell``/``$stable`` are meaningful);
+- the bug classifier (structural queries only).
+
+``Evaluator`` resolves identifiers through a lookup callable so each client
+supplies its own binding; temporal system functions are delegated to an
+optional ``sys_hook``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.verilog import ast
+from repro.sim.values import FourState
+
+
+class EvalError(Exception):
+    """Raised when an expression cannot be evaluated (bad node, bad call)."""
+
+
+SysHook = Callable[[str, list], FourState]
+
+
+class Evaluator:
+    """Evaluate :class:`repro.verilog.ast.Expr` trees to :class:`FourState`.
+
+    Parameters
+    ----------
+    lookup:
+        name -> FourState for signals.
+    params:
+        name -> int for elaborated parameters (folded to sized constants).
+    sys_hook:
+        optional handler for system functions; receives the name and the
+        *unevaluated* argument list so temporal functions can re-evaluate
+        arguments at other cycles.
+    """
+
+    def __init__(self, lookup: Callable[[str], FourState],
+                 params: Optional[Dict[str, int]] = None,
+                 sys_hook: Optional[SysHook] = None):
+        self.lookup = lookup
+        self.params = params or {}
+        self.sys_hook = sys_hook
+
+    def eval(self, expr: ast.Expr) -> FourState:
+        method = getattr(self, f"_eval_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise EvalError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr)
+
+    def eval_bool(self, expr: ast.Expr) -> FourState:
+        """Evaluate as a truth value (1-bit, 3-valued)."""
+        value = self.eval(expr)
+        if value.is_true():
+            return FourState.from_bool(True)
+        if value.is_false():
+            return FourState.from_bool(False)
+        return FourState.unknown(1)
+
+    # -- leaves -----------------------------------------------------------
+
+    def _eval_number(self, expr: ast.Number) -> FourState:
+        width = expr.width or 32
+        return FourState(width, expr.value, expr.xmask)
+
+    def _eval_ident(self, expr: ast.Ident) -> FourState:
+        if expr.name in self.params:
+            return FourState(32, self.params[expr.name] & 0xFFFFFFFF)
+        return self.lookup(expr.name)
+
+    # -- operators ---------------------------------------------------------
+
+    def _eval_unary(self, expr: ast.Unary) -> FourState:
+        operand = self.eval(expr.operand)
+        op = expr.op
+        if op == "~":
+            return operand.bit_not()
+        if op == "!":
+            return operand.log_not()
+        if op == "-":
+            return operand.negate()
+        if op == "+":
+            return operand
+        if op == "&":
+            return operand.reduce_and()
+        if op == "|":
+            return operand.reduce_or()
+        if op == "^":
+            return operand.reduce_xor()
+        raise EvalError(f"unknown unary operator {op!r}")
+
+    _BINARY_DISPATCH = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+        "**": "pow",
+        "&": "bit_and", "|": "bit_or", "^": "bit_xor",
+        "~^": "bit_xor", "^~": "bit_xor",
+        "==": "eq", "!=": "ne", "===": "case_eq",
+        "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+        "&&": "log_and", "||": "log_or",
+        "<<": "shl", ">>": "shr", "<<<": "shl", ">>>": "ashr",
+    }
+
+    def _eval_binary(self, expr: ast.Binary) -> FourState:
+        lhs = self.eval(expr.lhs)
+        rhs = self.eval(expr.rhs)
+        op = expr.op
+        if op in ("~^", "^~"):
+            return lhs.bit_xor(rhs).bit_not()
+        if op == "!==":
+            result = lhs.case_eq(rhs)
+            return FourState.from_bool(not result.is_true())
+        if op in ("&&", "||"):
+            a = lhs if lhs.width == 1 else self._truth(lhs)
+            b = rhs if rhs.width == 1 else self._truth(rhs)
+            return a.log_and(b) if op == "&&" else a.log_or(b)
+        method = self._BINARY_DISPATCH.get(op)
+        if method is None:
+            raise EvalError(f"unknown binary operator {op!r}")
+        return getattr(lhs, method)(rhs)
+
+    @staticmethod
+    def _truth(value: FourState) -> FourState:
+        if value.is_true():
+            return FourState.from_bool(True)
+        if value.is_false():
+            return FourState.from_bool(False)
+        return FourState.unknown(1)
+
+    def _eval_ternary(self, expr: ast.Ternary) -> FourState:
+        cond = self.eval(expr.cond)
+        if cond.is_true():
+            return self.eval(expr.then)
+        if cond.is_false():
+            return self.eval(expr.other)
+        # Unknown select: widths must agree; merge to X where branches differ.
+        then = self.eval(expr.then)
+        other = self.eval(expr.other)
+        width = max(then.width, other.width)
+        then, other = then.resize(width), other.resize(width)
+        differ = (then.value ^ other.value) | then.xmask | other.xmask
+        return FourState(width, then.value, differ)
+
+    # -- selects / structure -----------------------------------------------
+
+    def _eval_bitselect(self, expr: ast.BitSelect) -> FourState:
+        base = self.eval(expr.base)
+        index = self.eval(expr.index)
+        if index.has_x:
+            return FourState.unknown(1)
+        return base.bit(index.value)
+
+    def _eval_partselect(self, expr: ast.PartSelect) -> FourState:
+        base = self.eval(expr.base)
+        msb = self.eval(expr.msb)
+        lsb = self.eval(expr.lsb)
+        if msb.has_x or lsb.has_x:
+            return FourState.unknown(max(1, abs(msb.value - lsb.value) + 1))
+        return base.slice(msb.value, lsb.value)
+
+    def _eval_concat(self, expr: ast.Concat) -> FourState:
+        out = None
+        for part in expr.parts:
+            value = self.eval(part)
+            out = value if out is None else out.concat(value)
+        if out is None:
+            raise EvalError("empty concatenation")
+        return out
+
+    def _eval_repeat(self, expr: ast.Repeat) -> FourState:
+        count = self.eval(expr.count)
+        if count.has_x:
+            raise EvalError("replication count is unknown")
+        return self.eval(expr.value).repeat(max(count.value, 1))
+
+    def _eval_syscall(self, expr: ast.SysCall) -> FourState:
+        name = expr.name
+        if name == "$countones":
+            return self.eval(expr.args[0]).count_ones()
+        if name == "$onehot":
+            value = self.eval(expr.args[0])
+            if value.has_x:
+                return FourState.unknown(1)
+            return FourState.from_bool(bin(value.value).count("1") == 1)
+        if name == "$onehot0":
+            value = self.eval(expr.args[0])
+            if value.has_x:
+                return FourState.unknown(1)
+            return FourState.from_bool(bin(value.value).count("1") <= 1)
+        if name in ("$signed", "$unsigned"):
+            return self.eval(expr.args[0])
+        if self.sys_hook is not None:
+            return self.sys_hook(name, expr.args)
+        raise EvalError(f"system function {name} not available in this context")

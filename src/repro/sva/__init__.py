@@ -1,0 +1,29 @@
+"""SystemVerilog Assertion checking (substitute for SymbiYosys).
+
+Two checking modes over the same property subset:
+
+- :mod:`repro.sva.monitor` — runtime checking of a property over a finished
+  simulation trace (the "simulation" role: produces the failure logs a
+  verification engineer would read).
+- :mod:`repro.sva.bmc` — bounded model checking: searches the stimulus
+  space (exhaustive when small, directed + random otherwise) for a
+  counterexample trace (the "formal" role the paper fills with SymbiYosys).
+
+The property subset is the temporal layer parsed by
+:mod:`repro.verilog.parser`: boolean expressions (including ``$past``,
+``$rose``, ``$fell``, ``$stable``), ``##N`` / ``##[m:n]`` delays,
+``|->`` / ``|=>`` implication, ``not``, with ``@(posedge clk)`` clocking and
+``disable iff``.
+"""
+
+from repro.sva.monitor import AssertionFailure, check_assertions, check_trace
+from repro.sva.bmc import BmcConfig, BmcResult, bounded_check
+
+__all__ = [
+    "AssertionFailure",
+    "check_assertions",
+    "check_trace",
+    "BmcConfig",
+    "BmcResult",
+    "bounded_check",
+]

@@ -1,0 +1,135 @@
+"""Bounded model checking — the SymbiYosys substitute.
+
+The datagen pipeline asks two questions of the checker:
+
+1. *SVA validity*: does the assertion hold on the golden design within the
+   bound?  (Used to discard hallucinated assertions.)
+2. *Bug effectiveness*: does the buggy design violate the assertion, and
+   with what counterexample log?  (Used to build the SVA-Bug dataset and
+   the failure logs that become model input.)
+
+Strategy: exhaustive stimulus enumeration when the input space is small
+enough (``total_input_bits * depth <= exhaustive_bits``), otherwise a
+deterministic portfolio of directed patterns (constants, toggling, walking
+ones) plus seeded random search.  Bounded, like any BMC: ``proven`` is
+never claimed, only "no counterexample within the bound" — which is also
+all the paper's pipeline needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.verilog.elaborator import Design
+from repro.sim.eval import EvalError
+from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.stimulus import (
+    Stimulus,
+    constant_sequence,
+    enumerate_exhaustive,
+    reset_sequence,
+    toggle_sequence,
+    walking_ones_sequence,
+)
+from repro.sim.trace import Trace
+from repro.sva.monitor import AssertionFailure, check_assertions
+
+
+class BmcConfig:
+    """Search budget for :func:`bounded_check`."""
+
+    def __init__(self, depth: int = 12, random_trials: int = 64,
+                 exhaustive_bits: int = 12, reset_cycles: int = 2,
+                 seed: int = 2025):
+        self.depth = depth
+        self.random_trials = random_trials
+        self.exhaustive_bits = exhaustive_bits
+        self.reset_cycles = reset_cycles
+        self.seed = seed
+
+
+class BmcResult:
+    """Outcome of a bounded check.
+
+    ``failed`` is True when a counterexample was found; ``failures`` holds
+    the monitor records from the failing trace, ``trace`` the trace itself
+    and ``stimulus`` the input program that produced it.
+    """
+
+    def __init__(self):
+        self.failed = False
+        self.failures: List[AssertionFailure] = []
+        self.trace: Optional[Trace] = None
+        self.stimulus: Optional[Stimulus] = None
+        self.stimuli_tried = 0
+        self.sim_error: Optional[str] = None
+
+    @property
+    def passed_bound(self) -> bool:
+        """No counterexample within the search budget (not a proof)."""
+        return not self.failed and self.sim_error is None
+
+    def log_text(self, max_lines: int = 4) -> str:
+        """The assertion-failure log as it appears in dataset entries."""
+        lines = [f.log_line() for f in self.failures[:max_lines]]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.sim_error:
+            return f"BmcResult(sim_error={self.sim_error!r})"
+        state = "FAIL" if self.failed else "pass(bound)"
+        return f"BmcResult({state}, tried={self.stimuli_tried})"
+
+
+def _stimulus_portfolio(design: Design, config: BmcConfig) -> Iterable[Stimulus]:
+    """Directed patterns first (cheap, catch most corpus bugs), then random."""
+    yield constant_sequence(design, config.depth, 1, config.reset_cycles)
+    yield constant_sequence(design, config.depth, 0, config.reset_cycles)
+    yield toggle_sequence(design, config.depth, 0, config.reset_cycles)
+    yield toggle_sequence(design, config.depth, 1, config.reset_cycles)
+    yield walking_ones_sequence(design, config.depth, config.reset_cycles)
+    rng = random.Random(config.seed)
+    for _ in range(config.random_trials):
+        yield reset_sequence(design, config.depth, rng, config.reset_cycles)
+
+
+def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResult:
+    """Search for an assertion counterexample within the budget."""
+    config = config or BmcConfig()
+    result = BmcResult()
+    if not design.assertions:
+        return result
+
+    total_bits = sum(s.width for s in design.free_inputs())
+    exhaustive = total_bits * config.depth <= config.exhaustive_bits
+
+    if exhaustive:
+        candidates: Iterable[Stimulus] = enumerate_exhaustive(
+            design, config.depth, config.reset_cycles)
+    else:
+        candidates = _stimulus_portfolio(design, config)
+
+    simulator = Simulator(design)
+    for stimulus in candidates:
+        result.stimuli_tried += 1
+        try:
+            trace = simulator.run(stimulus)
+            failures = check_assertions(design, trace, config.reset_cycles)
+        except (SimulationError, EvalError) as exc:
+            # Hallucinated SVAs can reference constructs the monitor cannot
+            # evaluate; that is a rejection, not a crash.
+            result.sim_error = str(exc)
+            return result
+        if failures:
+            result.failed = True
+            result.failures = failures
+            result.trace = trace
+            result.stimulus = stimulus
+            return result
+    return result
+
+
+def holds_within_bound(design: Design, config: Optional[BmcConfig] = None) -> bool:
+    """True when no assertion counterexample exists within the budget."""
+    return bounded_check(design, config).passed_bound

@@ -1,0 +1,54 @@
+"""Insertion of SVA property/assertion source into a design.
+
+Stage 2 of the pipeline takes generated SVA text and embeds it into the
+Verilog module before validation.  Insertion is textual (before
+``endmodule``) followed by re-canonicalization, so the combined artefact
+has stable line numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.verilog.compile import CompileResult, compile_source
+from repro.verilog.writer import write_module
+
+
+class SvaInsertionError(Exception):
+    """Raised when the combined design + SVA source fails to compile."""
+
+
+def insert_sva_text(source: str, sva_blocks: List[str]) -> str:
+    """Insert raw SVA source blocks before ``endmodule`` and canonicalize.
+
+    Raises :class:`SvaInsertionError` when the result does not compile —
+    which is precisely how the pipeline detects hallucinated SVAs with
+    syntax problems.
+    """
+    marker = "endmodule"
+    index = source.rfind(marker)
+    if index < 0:
+        raise SvaInsertionError("design has no 'endmodule' to insert before")
+    blob = "\n".join(sva_blocks)
+    combined = source[:index] + blob + "\n" + source[index:]
+    result = compile_source(combined)
+    if not result.ok:
+        raise SvaInsertionError(
+            f"SVA insertion produced invalid source:\n{result.failure_summary()}")
+    return write_module(result.module)
+
+
+def compile_with_sva(source: str, sva_blocks: List[str]) -> CompileResult:
+    """Insert and compile, returning the full result (never raises for
+    source-level failures)."""
+    marker = "endmodule"
+    index = source.rfind(marker)
+    if index < 0:
+        result = CompileResult(source)
+        from repro.verilog.errors import Diagnostic
+        result.diagnostics.append(
+            Diagnostic(Diagnostic.ERROR, "design has no 'endmodule'", 0))
+        return result
+    blob = "\n".join(sva_blocks)
+    combined = source[:index] + blob + "\n" + source[index:]
+    return compile_source(combined)

@@ -1,0 +1,223 @@
+"""Runtime assertion checking over simulation traces.
+
+Semantics (finite-trace, weak): an obligation that runs past the end of the
+trace is *undetermined* and does not fail — mirroring how a simulator only
+reports failures it actually observed, while the BMC driver picks trace
+depths long enough for obligations to resolve.
+
+Evaluation is 3-valued: a consequent that samples X neither passes nor
+fails by value; we treat "not definitely true" as a failure only when all
+sampled bits are known.  Reset periods are excluded the standard way via
+``disable iff``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.verilog import ast
+from repro.verilog.elaborator import Design, ResolvedAssertion
+from repro.sim.eval import EvalError, Evaluator
+from repro.sim.trace import Trace
+from repro.sim.values import FourState
+
+
+class AssertionFailure:
+    """One observed assertion failure."""
+
+    __slots__ = ("module", "label", "property_name", "start_cycle", "fail_cycle",
+                 "message")
+
+    def __init__(self, module: str, label: str, property_name: str,
+                 start_cycle: int, fail_cycle: int, message: str):
+        self.module = module
+        self.label = label
+        self.property_name = property_name
+        self.start_cycle = start_cycle
+        self.fail_cycle = fail_cycle
+        self.message = message
+
+    def log_line(self) -> str:
+        """The log format our datasets carry (modelled on simulator output)."""
+        text = (f"failed assertion {self.module}.{self.label} "
+                f"at cycle {self.fail_cycle}")
+        if self.message:
+            text += f": {self.message}"
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AssertionFailure({self.log_line()!r})"
+
+
+class _TraceEnv:
+    """Evaluator environment bound to one trace cycle, with temporal
+    system-function support."""
+
+    def __init__(self, trace: Trace, cycle: int, params):
+        self.trace = trace
+        self.cycle = cycle
+        self.params = params
+
+    def evaluator(self) -> Evaluator:
+        return Evaluator(self._lookup, self.params, sys_hook=self._sys_hook)
+
+    def _lookup(self, name: str) -> FourState:
+        try:
+            return self.trace[self.cycle][name]
+        except KeyError:
+            raise EvalError(f"no such signal '{name}' in trace") from None
+
+    def _at(self, cycle: int) -> "_TraceEnv":
+        return _TraceEnv(self.trace, cycle, self.params)
+
+    def _sys_hook(self, name: str, args) -> FourState:
+        if name == "$past":
+            depth = 1
+            if len(args) > 1:
+                folded = args[1]
+                if isinstance(folded, ast.Number):
+                    depth = folded.value
+            past_cycle = self.cycle - depth
+            if past_cycle < 0:
+                return FourState.unknown(1)
+            return self._at(past_cycle).evaluator().eval(args[0])
+        if name in ("$rose", "$fell", "$stable"):
+            if self.cycle == 0:
+                return FourState.unknown(1)
+            now = self.evaluator().eval(args[0])
+            before = self._at(self.cycle - 1).evaluator().eval(args[0])
+            if name == "$stable":
+                return now.case_eq(before)
+            now_bit, before_bit = now.bit(0), before.bit(0)
+            if now_bit.has_x or before_bit.has_x:
+                return FourState.unknown(1)
+            if name == "$rose":
+                return FourState.from_bool(before_bit.value == 0 and now_bit.value == 1)
+            return FourState.from_bool(before_bit.value == 1 and now_bit.value == 0)
+        raise EvalError(f"system function {name} unsupported in properties")
+
+
+# 3-valued property verdicts.
+TRUE = "true"
+FALSE = "false"
+UNDET = "undetermined"   # obligation ran past the end of the trace / X
+
+
+def _bool_verdict(value: FourState) -> str:
+    if value.is_true():
+        return TRUE
+    if value.is_false():
+        return FALSE
+    return UNDET
+
+
+class PropertyChecker:
+    """Evaluates one property over a trace."""
+
+    def __init__(self, design: Design, trace: Trace):
+        self.design = design
+        self.trace = trace
+
+    def _env(self, cycle: int) -> _TraceEnv:
+        return _TraceEnv(self.trace, cycle, self.design.params)
+
+    def eval_prop(self, prop: ast.PropExpr, cycle: int) -> "tuple[str, int]":
+        """Returns (verdict, resolving_cycle)."""
+        if cycle >= len(self.trace):
+            return UNDET, cycle
+        if isinstance(prop, ast.PropBool):
+            value = self._env(cycle).evaluator().eval_bool(prop.expr)
+            return _bool_verdict(value), cycle
+        if isinstance(prop, ast.PropNot):
+            verdict, at = self.eval_prop(prop.operand, cycle)
+            if verdict == TRUE:
+                return FALSE, at
+            if verdict == FALSE:
+                return TRUE, at
+            return UNDET, at
+        if isinstance(prop, ast.PropDelay):
+            return self._eval_delay(prop, cycle)
+        if isinstance(prop, ast.PropImplication):
+            return self._eval_implication(prop, cycle)
+        raise TypeError(f"cannot evaluate property node {type(prop).__name__}")
+
+    def _eval_delay(self, prop: ast.PropDelay, cycle: int) -> "tuple[str, int]":
+        if prop.lhs is not None:
+            verdict, at = self.eval_prop(prop.lhs, cycle)
+            if verdict != TRUE:
+                return verdict, at
+            base = at
+        else:
+            base = cycle - 1  # leading ##N counts from the current cycle
+        # Existential over the delay window: the sequence matches if the rhs
+        # holds at any offset in [lo, hi].
+        saw_undet = False
+        for offset in range(prop.lo, prop.hi + 1):
+            target = base + offset if prop.lhs is not None else cycle + offset
+            if target >= len(self.trace):
+                saw_undet = True
+                continue
+            verdict, at = self.eval_prop(prop.rhs, target)
+            if verdict == TRUE:
+                return TRUE, at
+            if verdict == UNDET:
+                saw_undet = True
+        if saw_undet:
+            return UNDET, len(self.trace) - 1
+        last = base + prop.hi if prop.lhs is not None else cycle + prop.hi
+        return FALSE, min(last, len(self.trace) - 1)
+
+    def _eval_implication(self, prop: ast.PropImplication,
+                          cycle: int) -> "tuple[str, int]":
+        verdict, match_end = self.eval_prop(prop.antecedent, cycle)
+        if verdict == FALSE:
+            return TRUE, cycle  # vacuous pass
+        if verdict == UNDET:
+            return UNDET, match_end
+        start = match_end if prop.overlapped else match_end + 1
+        return self.eval_prop(prop.consequent, start)
+
+    def check(self, assertion: ResolvedAssertion,
+              skip_cycles: int = 0) -> List[AssertionFailure]:
+        """All failures of ``assertion`` over the trace.
+
+        ``skip_cycles`` excludes the reset preamble from evaluation-start
+        positions (matching tools that begin checking after reset release).
+        """
+        failures: List[AssertionFailure] = []
+        prop = assertion.prop
+        for cycle in range(skip_cycles, len(self.trace)):
+            if prop.disable is not None:
+                disabled = self._env(cycle).evaluator().eval_bool(prop.disable)
+                if not disabled.is_false():
+                    continue
+            verdict, at = self.eval_prop(prop.body, cycle)
+            if verdict == FALSE:
+                failures.append(AssertionFailure(
+                    self.design.name, assertion.label, prop.name,
+                    cycle, at, assertion.message))
+        return failures
+
+
+def check_trace(design: Design, trace: Trace,
+                skip_cycles: Optional[int] = None) -> List[AssertionFailure]:
+    """Check every assertion in ``design`` against ``trace``."""
+    if skip_cycles is None:
+        skip_cycles = 0
+    checker = PropertyChecker(design, trace)
+    failures: List[AssertionFailure] = []
+    for assertion in design.assertions:
+        failures.extend(checker.check(assertion, skip_cycles))
+    return failures
+
+
+def check_assertions(design: Design, trace: Trace,
+                     reset_cycles: int = 2) -> List[AssertionFailure]:
+    """Like :func:`check_trace` but skipping the reset preamble.
+
+    Checking starts one cycle *after* reset release: properties that sample
+    ``$past`` would otherwise compare post-reset state against reset-era
+    values that never followed the design's update rule.  This matches the
+    common verification practice of arming checkers a cycle after reset.
+    """
+    return check_trace(design, trace, skip_cycles=reset_cycles + 1)

@@ -1,0 +1,34 @@
+"""Verilog-subset compiler frontend (substitute for Icarus Verilog).
+
+The subset covers the synthesizable constructs our corpus generator emits:
+module declarations with ANSI ports, parameters, ``wire``/``reg``
+declarations, continuous ``assign``, clocked and combinational ``always``
+blocks, ``if``/``else``, ``case``, blocking/non-blocking assignment, the
+usual expression operators, bit/part selects, concatenation and replication,
+plus the SVA constructs handled by :mod:`repro.sva`.
+
+Public API:
+
+- :func:`repro.verilog.parser.parse_source` — source text -> AST.
+- :func:`repro.verilog.elaborator.elaborate` — AST -> elaborated design
+  (symbol tables, width resolution, semantic checks).
+- :func:`compile_source` — the one-call "Icarus" replacement: lex, parse,
+  elaborate and lint, returning a :class:`CompileResult` whose ``ok`` flag
+  and diagnostics mirror a compiler's pass/fail verdict.
+"""
+
+from repro.verilog.compile import CompileResult, compile_source
+from repro.verilog.errors import VerilogError, VerilogLexError, VerilogParseError, VerilogSemanticError
+from repro.verilog.parser import parse_source
+from repro.verilog.writer import write_module
+
+__all__ = [
+    "CompileResult",
+    "compile_source",
+    "parse_source",
+    "write_module",
+    "VerilogError",
+    "VerilogLexError",
+    "VerilogParseError",
+    "VerilogSemanticError",
+]

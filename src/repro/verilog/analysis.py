@@ -1,0 +1,104 @@
+"""Structural analysis: def-use graphs and assertion cones.
+
+Used by the CoT oracle (to narrate a signal-tracing argument), the model's
+feature extractor (cone membership is the strongest localization signal)
+and the bug classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.verilog import ast
+
+
+class DefUse:
+    """Per-signal driver information for one module.
+
+    Attributes
+    ----------
+    drivers:    target -> set of signals read by any statement assigning it
+                (including gating conditions on the path).
+    def_lines:  target -> sorted line numbers of statements assigning it.
+    """
+
+    def __init__(self, module: ast.Module):
+        self.module = module
+        self.drivers: Dict[str, Set[str]] = {}
+        self.def_lines: Dict[str, List[int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for item in self.module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                self._note(item.target, item.value, [], item.line)
+            elif isinstance(item, ast.AlwaysBlock):
+                self._visit(item.body, [])
+
+    def _visit(self, stmt: ast.Stmt, guards: List[ast.Expr]) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self._visit(child, guards)
+        elif isinstance(stmt, ast.Assignment):
+            self._note(stmt.target, stmt.value, guards, stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._visit(stmt.then, guards + [stmt.cond])
+            if stmt.other is not None:
+                self._visit(stmt.other, guards + [stmt.cond])
+        elif isinstance(stmt, ast.Case):
+            for item in stmt.items:
+                self._visit(item.body, guards + [stmt.subject])
+
+    def _note(self, target: ast.Expr, value: ast.Expr,
+              guards: List[ast.Expr], line: int) -> None:
+        reads: Set[str] = set(ast.collect_idents(value))
+        lines = {line}
+        for guard in guards:
+            reads.update(ast.collect_idents(guard))
+            # Guard-header lines gate the target's update, so they are
+            # definition sites too: a bug on an 'if (...)' line is in the
+            # cone of everything it gates.
+            lines.update(n.line for n in ast.walk(guard))
+        for name in _target_names(target):
+            self.drivers.setdefault(name, set()).update(reads)
+            self.def_lines.setdefault(name, [])
+            for l in lines:
+                if l not in self.def_lines[name]:
+                    self.def_lines[name].append(l)
+        for name in self.def_lines:
+            self.def_lines[name].sort()
+
+    def fanin_cone(self, roots: List[str], max_depth: int = 8) -> Set[str]:
+        """Transitive closure of drivers starting from ``roots``."""
+        cone: Set[str] = set(roots)
+        frontier = set(roots)
+        for _ in range(max_depth):
+            new: Set[str] = set()
+            for name in frontier:
+                new.update(self.drivers.get(name, ()))
+            new -= cone
+            if not new:
+                break
+            cone.update(new)
+            frontier = new
+        return cone
+
+    def cone_lines(self, roots: List[str], max_depth: int = 8) -> Set[int]:
+        """Line numbers of every statement driving a cone member."""
+        lines: Set[int] = set()
+        for name in self.fanin_cone(roots, max_depth):
+            lines.update(self.def_lines.get(name, ()))
+        return lines
+
+
+def _target_names(target: ast.Expr) -> List[str]:
+    if isinstance(target, ast.Ident):
+        return [target.name]
+    if isinstance(target, (ast.BitSelect, ast.PartSelect)):
+        return _target_names(target.base)
+    if isinstance(target, ast.Concat):
+        names: List[str] = []
+        for part in target.parts:
+            names.extend(_target_names(part))
+        return names
+    return []

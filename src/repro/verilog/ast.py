@@ -1,0 +1,541 @@
+"""AST node definitions for the Verilog/SVA subset.
+
+Every node records the 1-based source ``line`` it started on.  Line numbers
+are load-bearing throughout the reproduction: the paper's models answer with
+a *buggy line*, the bug injector records golden lines, and the evaluator
+compares the two.
+
+Expression nodes double as the boolean layer of SVA properties; the
+temporal layer (implication, cycle delay, disable iff) has its own nodes at
+the bottom of this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+    def children(self) -> Sequence["Node"]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = []
+        for slot in self.__class__.__slots__:
+            if slot == "line":
+                continue
+            fields.append(f"{slot}={getattr(self, slot)!r}")
+        return f"{self.__class__.__name__}({', '.join(fields)})"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class Number(Expr):
+    """A literal.  ``width`` is None for unsized decimals; ``xmask`` marks
+    x/z bits."""
+
+    __slots__ = ("width", "value", "xmask", "text")
+
+    def __init__(self, value: int, width: Optional[int] = None, xmask: int = 0,
+                 text: str = "", line: int = 0):
+        super().__init__(line)
+        self.value = value
+        self.width = width
+        self.xmask = xmask
+        self.text = text or str(value)
+
+
+class Ident(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+
+
+class Unary(Expr):
+    """Unary operators: ~ ! - + and reductions & | ^ ~& ~| ~^."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+
+class Binary(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+
+class Ternary(Expr):
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Expr, other: Expr, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+    def children(self):
+        return (self.cond, self.then, self.other)
+
+
+class BitSelect(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+    def children(self):
+        return (self.base, self.index)
+
+
+class PartSelect(Expr):
+    """``sig[msb:lsb]`` (constant bounds only, as in synthesizable RTL)."""
+
+    __slots__ = ("base", "msb", "lsb")
+
+    def __init__(self, base: Expr, msb: Expr, lsb: Expr, line: int = 0):
+        super().__init__(line)
+        self.base = base
+        self.msb = msb
+        self.lsb = lsb
+
+    def children(self):
+        return (self.base, self.msb, self.lsb)
+
+
+class Concat(Expr):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[Expr], line: int = 0):
+        super().__init__(line)
+        self.parts = parts
+
+    def children(self):
+        return tuple(self.parts)
+
+
+class Repeat(Expr):
+    """``{count{expr}}`` replication."""
+
+    __slots__ = ("count", "value")
+
+    def __init__(self, count: Expr, value: Expr, line: int = 0):
+        super().__init__(line)
+        self.count = count
+        self.value = value
+
+    def children(self):
+        return (self.count, self.value)
+
+
+class SysCall(Expr):
+    """System function in expression position ($past, $rose, ...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+    def children(self):
+        return tuple(self.args)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: List[Stmt], line: int = 0):
+        super().__init__(line)
+        self.stmts = stmts
+
+    def children(self):
+        return tuple(self.stmts)
+
+
+class Assignment(Stmt):
+    """Procedural assignment.  ``blocking`` distinguishes ``=`` from ``<=``."""
+
+    __slots__ = ("target", "value", "blocking")
+
+    def __init__(self, target: Expr, value: Expr, blocking: bool, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+        self.blocking = blocking
+
+    def children(self):
+        return (self.target, self.value)
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: Expr, then: Stmt, other: Optional[Stmt], line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+    def children(self):
+        kids: List[Node] = [self.cond, self.then]
+        if self.other is not None:
+            kids.append(self.other)
+        return tuple(kids)
+
+
+class CaseItem(Node):
+    __slots__ = ("labels", "body", "is_default")
+
+    def __init__(self, labels: List[Expr], body: Stmt, is_default: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.labels = labels
+        self.body = body
+        self.is_default = is_default
+
+    def children(self):
+        return tuple(self.labels) + (self.body,)
+
+
+class Case(Stmt):
+    __slots__ = ("subject", "items", "kind")
+
+    def __init__(self, subject: Expr, items: List[CaseItem], kind: str = "case",
+                 line: int = 0):
+        super().__init__(line)
+        self.subject = subject
+        self.items = items
+        self.kind = kind
+
+    def children(self):
+        return (self.subject,) + tuple(self.items)
+
+
+class SysTaskCall(Stmt):
+    """Statement-position system task ($display / $error / $finish)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+    def children(self):
+        return tuple(self.args)
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+class Item(Node):
+    __slots__ = ()
+
+
+class Port(Node):
+    __slots__ = ("direction", "name", "msb", "lsb", "is_reg", "signed")
+
+    def __init__(self, direction: str, name: str, msb: int = 0, lsb: int = 0,
+                 is_reg: bool = False, signed: bool = False, line: int = 0):
+        super().__init__(line)
+        self.direction = direction
+        self.name = name
+        self.msb = msb
+        self.lsb = lsb
+        self.is_reg = is_reg
+        self.signed = signed
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+
+class Decl(Item):
+    """Net/variable declaration: ``wire``/``reg``/``integer``."""
+
+    __slots__ = ("kind", "name", "msb", "lsb", "init", "signed")
+
+    def __init__(self, kind: str, name: str, msb: int = 0, lsb: int = 0,
+                 init: Optional[Expr] = None, signed: bool = False, line: int = 0):
+        super().__init__(line)
+        self.kind = kind
+        self.name = name
+        self.msb = msb
+        self.lsb = lsb
+        self.init = init
+        self.signed = signed
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+
+class ParamDecl(Item):
+    __slots__ = ("name", "value", "local")
+
+    def __init__(self, name: str, value: Expr, local: bool = False, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.value = value
+        self.local = local
+
+
+class ContinuousAssign(Item):
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Expr, value: Expr, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+    def children(self):
+        return (self.target, self.value)
+
+
+class EdgeSpec(Node):
+    """One edge in a sensitivity list: (posedge|negedge, signal)."""
+
+    __slots__ = ("edge", "signal")
+
+    def __init__(self, edge: str, signal: str, line: int = 0):
+        super().__init__(line)
+        self.edge = edge
+        self.signal = signal
+
+
+class AlwaysBlock(Item):
+    """``always @(...) stmt``.
+
+    ``edges`` empty means combinational (``@*`` or a plain signal list).
+    """
+
+    __slots__ = ("edges", "body", "comb")
+
+    def __init__(self, edges: List[EdgeSpec], body: Stmt, comb: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.edges = edges
+        self.body = body
+        self.comb = comb
+
+    def children(self):
+        return tuple(self.edges) + (self.body,)
+
+
+class Instance(Item):
+    """Module instantiation with named port connections."""
+
+    __slots__ = ("module_name", "instance_name", "connections")
+
+    def __init__(self, module_name: str, instance_name: str,
+                 connections: List[Tuple[str, Expr]], line: int = 0):
+        super().__init__(line)
+        self.module_name = module_name
+        self.instance_name = instance_name
+        self.connections = connections
+
+
+# ---------------------------------------------------------------------------
+# SVA items
+# ---------------------------------------------------------------------------
+
+class PropExpr(Node):
+    """Base class of the temporal property layer."""
+
+    __slots__ = ()
+
+
+class PropBool(PropExpr):
+    """A boolean expression used as a (single-cycle) property."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+    def children(self):
+        return (self.expr,)
+
+
+class PropDelay(PropExpr):
+    """``lhs ##N rhs`` (or ``##[lo:hi]``) sequence concatenation."""
+
+    __slots__ = ("lhs", "lo", "hi", "rhs")
+
+    def __init__(self, lhs: Optional[PropExpr], lo: int, hi: int, rhs: PropExpr,
+                 line: int = 0):
+        super().__init__(line)
+        self.lhs = lhs
+        self.lo = lo
+        self.hi = hi
+        self.rhs = rhs
+
+    def children(self):
+        kids: List[Node] = []
+        if self.lhs is not None:
+            kids.append(self.lhs)
+        kids.append(self.rhs)
+        return tuple(kids)
+
+
+class PropImplication(PropExpr):
+    """``antecedent |-> consequent`` (overlapped) or ``|=>`` (next cycle)."""
+
+    __slots__ = ("antecedent", "consequent", "overlapped")
+
+    def __init__(self, antecedent: PropExpr, consequent: PropExpr,
+                 overlapped: bool, line: int = 0):
+        super().__init__(line)
+        self.antecedent = antecedent
+        self.consequent = consequent
+        self.overlapped = overlapped
+
+    def children(self):
+        return (self.antecedent, self.consequent)
+
+
+class PropNot(PropExpr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: PropExpr, line: int = 0):
+        super().__init__(line)
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+
+class PropertyDecl(Item):
+    """``property name; @(posedge clk) disable iff (e) body; endproperty``."""
+
+    __slots__ = ("name", "clock", "disable", "body")
+
+    def __init__(self, name: str, clock: Optional[EdgeSpec],
+                 disable: Optional[Expr], body: PropExpr, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.clock = clock
+        self.disable = disable
+        self.body = body
+
+    def children(self):
+        kids: List[Node] = []
+        if self.disable is not None:
+            kids.append(self.disable)
+        kids.append(self.body)
+        return tuple(kids)
+
+
+class AssertionItem(Item):
+    """``label: assert property (ref_or_inline) else $error("msg");``"""
+
+    __slots__ = ("label", "property_name", "inline", "message")
+
+    def __init__(self, label: str, property_name: Optional[str] = None,
+                 inline: Optional[PropertyDecl] = None, message: str = "",
+                 line: int = 0):
+        super().__init__(line)
+        self.label = label
+        self.property_name = property_name
+        self.inline = inline
+        self.message = message
+
+
+# ---------------------------------------------------------------------------
+# Module / source
+# ---------------------------------------------------------------------------
+
+class Module(Node):
+    __slots__ = ("name", "ports", "items", "end_line")
+
+    def __init__(self, name: str, ports: List[Port], items: List[Item],
+                 line: int = 0, end_line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.ports = ports
+        self.items = items
+        self.end_line = end_line
+
+    def children(self):
+        return tuple(self.ports) + tuple(self.items)
+
+    def port(self, name: str) -> Optional[Port]:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def decls(self) -> List[Decl]:
+        return [item for item in self.items if isinstance(item, Decl)]
+
+    def properties(self) -> List[PropertyDecl]:
+        return [item for item in self.items if isinstance(item, PropertyDecl)]
+
+    def assertions(self) -> List[AssertionItem]:
+        return [item for item in self.items if isinstance(item, AssertionItem)]
+
+
+class Source(Node):
+    """A parsed source file (one or more modules)."""
+
+    __slots__ = ("modules",)
+
+    def __init__(self, modules: List[Module], line: int = 0):
+        super().__init__(line)
+        self.modules = modules
+
+    def children(self):
+        return tuple(self.modules)
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants in preorder."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def collect_idents(node: Node) -> List[str]:
+    """All identifier names referenced under ``node`` (with duplicates)."""
+    return [n.name for n in walk(node) if isinstance(n, Ident)]

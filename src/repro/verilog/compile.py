@@ -1,0 +1,73 @@
+"""One-call compiler frontend — the Icarus Verilog substitute.
+
+``compile_source`` runs lex -> parse -> elaborate and returns a
+:class:`CompileResult` carrying the pass/fail verdict, diagnostics, the AST
+and the elaborated design.  The datagen pipeline treats ``result.ok`` like
+the exit status of ``iverilog`` and ``result.failure_summary()`` like its
+stderr.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.verilog import ast
+from repro.verilog.elaborator import Design, elaborate
+from repro.verilog.errors import Diagnostic, VerilogError
+from repro.verilog.parser import parse_source
+
+
+class CompileResult:
+    """Outcome of compiling one source string."""
+
+    def __init__(self, source_text: str):
+        self.source_text = source_text
+        self.ok = False
+        self.source: Optional[ast.Source] = None
+        self.design: Optional[Design] = None
+        self.diagnostics: List[Diagnostic] = []
+
+    @property
+    def module(self) -> Optional[ast.Module]:
+        if self.source and self.source.modules:
+            return self.source.modules[0]
+        return None
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error()]
+
+    def failure_summary(self) -> str:
+        """Compiler-style multi-line error report (empty when ok)."""
+        return "\n".join(repr(d) for d in self.errors())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        status = "ok" if self.ok else f"{len(self.errors())} error(s)"
+        return f"CompileResult({status})"
+
+
+def compile_source(source_text: str) -> CompileResult:
+    """Compile Verilog source text.
+
+    Never raises for source-level problems; syntax and semantic failures are
+    reported through ``result.ok`` / ``result.diagnostics`` so the pipeline
+    can harvest failing samples for the Verilog-PT dataset exactly as the
+    paper keeps non-compiling code for pretraining.
+    """
+    result = CompileResult(source_text)
+    try:
+        result.source = parse_source(source_text)
+    except VerilogError as exc:
+        result.diagnostics.append(Diagnostic(Diagnostic.ERROR, exc.message, exc.line))
+        return result
+    if len(result.source.modules) != 1:
+        result.diagnostics.append(Diagnostic(
+            Diagnostic.ERROR,
+            f"expected exactly one module, found {len(result.source.modules)}",
+            result.source.modules[0].line if result.source.modules else 1))
+        # Still try to elaborate the first module for diagnostics.
+    module = result.source.modules[0]
+    design = elaborate(module, strict=False)
+    result.design = design
+    result.diagnostics.extend(design.diagnostics)
+    result.ok = not any(d.is_error() for d in result.diagnostics)
+    return result

@@ -1,0 +1,53 @@
+"""Diagnostics for the Verilog frontend.
+
+Errors carry a source line number so the datagen pipeline can build
+compiler-analysis text (the paper's Verilog-PT entries pair failing code
+with an explanation of the failure).
+"""
+
+from __future__ import annotations
+
+
+class VerilogError(Exception):
+    """Base class for all frontend diagnostics."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.line:
+            return f"line {self.line}: {self.message}"
+        return self.message
+
+
+class VerilogLexError(VerilogError):
+    """Raised on characters or literals the lexer cannot tokenize."""
+
+
+class VerilogParseError(VerilogError):
+    """Raised when token stream does not match the grammar."""
+
+
+class VerilogSemanticError(VerilogError):
+    """Raised during elaboration (undeclared names, illegal drivers, ...)."""
+
+
+class Diagnostic:
+    """A non-fatal or fatal message collected during compilation."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __init__(self, severity: str, message: str, line: int = 0):
+        self.severity = severity
+        self.message = message
+        self.line = line
+
+    def __repr__(self) -> str:
+        where = f":{self.line}" if self.line else ""
+        return f"{self.severity}{where}: {self.message}"
+
+    def is_error(self) -> bool:
+        return self.severity == self.ERROR

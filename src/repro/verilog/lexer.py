@@ -1,0 +1,262 @@
+"""Tokenizer for the Verilog/SVA subset.
+
+Produces a flat list of :class:`Token`.  Comments are skipped but their line
+accounting is preserved so diagnostics and bug-location bookkeeping (which
+the paper's evaluation relies on: answers are judged by buggy *line*) stay
+accurate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.verilog.errors import VerilogLexError
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "logic", "integer", "parameter", "localparam", "assign", "always",
+    "always_ff", "always_comb", "posedge", "negedge", "or", "begin", "end",
+    "if", "else", "case", "casez", "casex", "endcase", "default", "for",
+    "genvar", "generate", "endgenerate", "initial", "signed",
+    # SVA keywords
+    "property", "endproperty", "assert", "assume", "cover", "disable",
+    "iff", "sequence", "endsequence", "not",
+}
+
+SYSTEM_TASKS = {
+    "$error", "$display", "$finish", "$past", "$rose", "$fell", "$stable",
+    "$countones", "$onehot", "$onehot0", "$signed", "$unsigned", "$time",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+MULTI_OPS = [
+    "|=>", "|->", "<<<", ">>>", "===", "!==", "==", "!=", "<=", ">=",
+    "&&", "||", "<<", ">>", "**", "##", "+:", "-:", "::",
+]
+
+SINGLE_OPS = set("+-*/%&|^~!<>=?:;,.#@(){}[]$")
+
+
+class Token:
+    """One lexeme: a (kind, text, line) triple.
+
+    ``kind`` is one of ``id``, ``kw``, ``num``, ``str``, ``sys``, ``op``,
+    ``eof``.
+    """
+
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, line={self.line})"
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == "op" and self.text in texts
+
+    def is_kw(self, *texts: str) -> bool:
+        return self.kind == "kw" and self.text in texts
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_$"
+
+
+class Lexer:
+    """Single-pass scanner over a source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.tokens: List[Token] = []
+
+    def error(self, message: str) -> VerilogLexError:
+        return VerilogLexError(message, self.line)
+
+    def peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        if idx < len(self.source):
+            return self.source[idx]
+        return ""
+
+    def advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                self.pos += 1
+
+    def tokenize(self) -> List[Token]:
+        while self.pos < len(self.source):
+            ch = self.peek()
+            if ch in " \t\r\n":
+                self.advance()
+            elif ch == "/" and self.peek(1) == "/":
+                self._skip_line_comment()
+            elif ch == "/" and self.peek(1) == "*":
+                self._skip_block_comment()
+            elif ch.isdigit() or (ch == "'" and self.peek(1) in "bdohBDOH"):
+                self._lex_number()
+            elif _is_ident_start(ch):
+                self._lex_identifier()
+            elif ch == "$":
+                self._lex_system_task()
+            elif ch == '"':
+                self._lex_string()
+            elif ch == "`":
+                # Ignore compiler directives (`timescale etc.) to end of line.
+                self._skip_line_comment()
+            else:
+                self._lex_operator()
+        self.tokens.append(Token("eof", "", self.line))
+        return self.tokens
+
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source) and self.peek() != "\n":
+            self.advance()
+
+    def _skip_block_comment(self) -> None:
+        self.advance(2)
+        while self.pos < len(self.source):
+            if self.peek() == "*" and self.peek(1) == "/":
+                self.advance(2)
+                return
+            self.advance()
+        raise self.error("unterminated block comment")
+
+    def _lex_number(self) -> None:
+        start_line = self.line
+        text = []
+        # Optional decimal size prefix.
+        while self.peek().isdigit() or self.peek() == "_":
+            text.append(self.peek())
+            self.advance()
+        if self.peek() == "'":
+            text.append("'")
+            self.advance()
+            if self.peek() in "sS":
+                text.append(self.peek())
+                self.advance()
+            base = self.peek().lower()
+            if base not in "bdoh":
+                raise self.error(f"bad base character {self.peek()!r} in number")
+            text.append(self.peek())
+            self.advance()
+            digits = "0123456789abcdefABCDEFxXzZ?_"
+            if not (self.peek() and self.peek() in digits):
+                raise self.error("missing digits after base specifier")
+            while self.peek() and self.peek() in digits:
+                text.append(self.peek())
+                self.advance()
+        self.tokens.append(Token("num", "".join(text), start_line))
+
+    def _lex_identifier(self) -> None:
+        start_line = self.line
+        text = []
+        while self.peek() and _is_ident_char(self.peek()):
+            text.append(self.peek())
+            self.advance()
+        word = "".join(text)
+        kind = "kw" if word in KEYWORDS else "id"
+        self.tokens.append(Token(kind, word, start_line))
+
+    def _lex_system_task(self) -> None:
+        start_line = self.line
+        text = ["$"]
+        self.advance()
+        while self.peek() and _is_ident_char(self.peek()):
+            text.append(self.peek())
+            self.advance()
+        word = "".join(text)
+        if word == "$":
+            raise self.error("stray '$'")
+        self.tokens.append(Token("sys", word, start_line))
+
+    def _lex_string(self) -> None:
+        start_line = self.line
+        self.advance()
+        text = []
+        while True:
+            ch = self.peek()
+            if not ch:
+                raise self.error("unterminated string literal")
+            if ch == '"':
+                self.advance()
+                break
+            if ch == "\\":
+                self.advance()
+                text.append(self.peek())
+                self.advance()
+                continue
+            if ch == "\n":
+                raise self.error("newline in string literal")
+            text.append(ch)
+            self.advance()
+        self.tokens.append(Token("str", "".join(text), start_line))
+
+    def _lex_operator(self) -> None:
+        start_line = self.line
+        for op in MULTI_OPS:
+            if self.source.startswith(op, self.pos):
+                self.advance(len(op))
+                self.tokens.append(Token("op", op, start_line))
+                return
+        ch = self.peek()
+        if ch in SINGLE_OPS:
+            self.advance()
+            self.tokens.append(Token("op", ch, start_line))
+            return
+        raise self.error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` and return the token list (ending with eof)."""
+    return Lexer(source).tokenize()
+
+
+def parse_number_literal(text: str) -> "tuple[Optional[int], int, int]":
+    """Decode a Verilog number literal.
+
+    Returns ``(width_or_None, value, xmask)`` where ``xmask`` has bits set
+    at x/z digit positions.  Plain decimal integers return width ``None``
+    (context-determined, treated as 32 by the elaborator).
+    """
+    text = text.replace("_", "")
+    if "'" not in text:
+        return None, int(text), 0
+    size_part, rest = text.split("'", 1)
+    width = int(size_part) if size_part else None
+    if rest and rest[0] in "sS":
+        rest = rest[1:]
+    base_char = rest[0].lower()
+    digits = rest[1:]
+    base = {"b": 2, "d": 10, "o": 8, "h": 16}[base_char]
+    bits_per_digit = {"b": 1, "d": 0, "o": 3, "h": 4}[base_char]
+    value = 0
+    xmask = 0
+    if base == 10:
+        if any(d in "xXzZ?" for d in digits):
+            width_eff = width or 32
+            return width, 0, (1 << width_eff) - 1
+        value = int(digits)
+    else:
+        for d in digits:
+            value <<= bits_per_digit
+            xmask <<= bits_per_digit
+            if d in "xXzZ?":
+                xmask |= (1 << bits_per_digit) - 1
+            else:
+                value |= int(d, base)
+    if width is not None:
+        mask = (1 << width) - 1
+        value &= mask
+        xmask &= mask
+    return width, value, xmask

@@ -1,0 +1,103 @@
+"""Shared fixtures.
+
+Expensive artefacts (dataset bundle, trained models, human benchmark) are
+session-scoped and built at a deliberately small scale — every test needs
+behaviour, not statistical power.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.generator import CorpusGenerator
+from repro.datagen.pipeline import DatagenConfig, run_pipeline
+
+ACCU_SOURCE = """
+module accu (
+  input clk,
+  input rst_n,
+  input [7:0] data_in,
+  input valid_in,
+  output reg valid_out,
+  output reg [9:0] data_out
+);
+  wire end_cnt;
+  reg [1:0] cnt;
+  assign end_cnt = valid_in && (cnt == 2'd3);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) cnt <= 2'd0;
+    else if (valid_in) cnt <= end_cnt ? 2'd0 : cnt + 2'd1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) valid_out <= 1'b0;
+    else if (end_cnt) valid_out <= 1'b1;
+    else valid_out <= 1'b0;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) data_out <= 10'd0;
+    else if (valid_in) data_out <= end_cnt ? {2'b00, data_in} : data_out + data_in;
+  end
+  property valid_out_check;
+    @(posedge clk) disable iff (!rst_n) end_cnt |-> ##1 valid_out == 1;
+  endproperty
+  valid_out_check_assertion: assert property (valid_out_check) else $error("valid_out should be high when end_cnt high");
+endmodule
+"""
+
+ACCU_BUGGY_SOURCE = ACCU_SOURCE.replace("else if (end_cnt) valid_out <= 1'b1;",
+                                        "else if (!end_cnt) valid_out <= 1'b1;")
+
+
+@pytest.fixture(scope="session")
+def accu_source():
+    return ACCU_SOURCE
+
+
+@pytest.fixture(scope="session")
+def accu_buggy_source():
+    return ACCU_BUGGY_SOURCE
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """A small but complete dataset bundle (shared across tests)."""
+    return run_pipeline(DatagenConfig(n_designs=16, bugs_per_design=3,
+                                      seed=7, bmc_depth=8,
+                                      bmc_random_trials=12))
+
+
+@pytest.fixture(scope="session")
+def corpus_samples():
+    """A couple dozen canonical golden designs."""
+    generator = CorpusGenerator(seed=99)
+    return generator.generate(24)
+
+
+@pytest.fixture(scope="session")
+def trained_models(small_bundle):
+    """(base, sft, assertsolver) trained on the small bundle."""
+    from repro.model.assertsolver import AssertSolver
+
+    base = AssertSolver(seed=5, name="base")
+    sft = AssertSolver(seed=5, name="sft")
+    sft.pretrain(small_bundle.verilog_pt)
+    sft.train_sft(small_bundle.sva_bug_train, small_bundle.verilog_bug,
+                  epochs=8)
+    solver = sft.clone_checkpoint("assertsolver")
+    solver._train_examples = sft._train_examples
+    solver.train_dpo(epochs=3)
+    return base, sft, solver
+
+
+@pytest.fixture(scope="session")
+def human_cases():
+    from repro.corpus.human import build_human_cases
+
+    return build_human_cases()
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)

@@ -1,0 +1,213 @@
+"""Bug taxonomy, mutators, injector and classification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bugs.classify import (
+    assertion_expr_signals,
+    classify_conditionality,
+    classify_relation,
+    targets_of_line,
+)
+from repro.bugs.injector import BugInjector, single_line_diff
+from repro.bugs.mutators import enumerate_mutations
+from repro.bugs.taxonomy import (
+    BUG_TYPE_ORDER,
+    BugKind,
+    Conditionality,
+    Relation,
+    TABLE1_ROWS,
+    length_bin_label,
+    length_bin_of,
+)
+from repro.verilog.compile import compile_source
+from repro.verilog.parser import parse_module
+from repro.verilog.writer import write_module
+
+
+class TestTaxonomy:
+    def test_table1_has_seven_rows(self):
+        assert len(TABLE1_ROWS) == 7
+        assert [row[0] for row in TABLE1_ROWS] == BUG_TYPE_ORDER
+
+    def test_length_bins(self):
+        assert length_bin_of(30) == (0, 50)
+        assert length_bin_of(50) == (0, 50)
+        assert length_bin_of(51) == (50, 100)
+        assert length_bin_of(150) == (100, 150)
+        assert length_bin_of(500) == (200, None)
+
+    def test_bin_labels(self):
+        assert length_bin_label((0, 50)) == "(0, 50]"
+        assert length_bin_label((200, None)) == "(200, +inf)"
+
+
+class TestMutators:
+    def test_enumeration_nonempty(self, corpus_samples):
+        for seed in corpus_samples[:8]:
+            module = parse_module(seed.source)
+            assert enumerate_mutations(module)
+
+    def test_apply_revert_restores_source(self, corpus_samples):
+        module = parse_module(corpus_samples[0].source)
+        baseline = write_module(module)
+        for candidate in enumerate_mutations(module)[:100]:
+            candidate.apply()
+            candidate.revert()
+        assert write_module(module) == baseline
+
+    def test_mutation_changes_emission(self, corpus_samples):
+        module = parse_module(corpus_samples[0].source)
+        baseline = write_module(module)
+        changed = 0
+        for candidate in enumerate_mutations(module)[:50]:
+            candidate.apply()
+            if write_module(module) != baseline:
+                changed += 1
+            candidate.revert()
+        assert changed > 40  # nearly all candidates are real edits
+
+    def test_repair_only_ops_flagged(self, corpus_samples):
+        module = parse_module(corpus_samples[0].source)
+        ops = {c.op_name for c in enumerate_mutations(module)
+               if c.repair_only}
+        # At least the deletion-style repair must be present somewhere in
+        # the corpus sample set.
+        all_ops = set()
+        for seed in corpus_samples[:10]:
+            m = parse_module(seed.source)
+            all_ops.update(c.op_name for c in enumerate_mutations(m)
+                           if c.repair_only)
+        assert all_ops  # repair-only space is non-empty
+
+
+class TestInjector:
+    def test_single_line_diff(self):
+        assert single_line_diff("a\nb\nc", "a\nX\nc") == 2
+        assert single_line_diff("a\nb", "a\nb") is None
+        assert single_line_diff("a\nb", "X\nY") is None
+        assert single_line_diff("a\nb", "a\nb\nc") is None
+
+    def test_inject_produces_single_line_bug(self, corpus_samples, rng):
+        injector = BugInjector(rng)
+        for seed in corpus_samples[:8]:
+            record = injector.inject(seed.source, seed.name)
+            assert record is not None
+            assert single_line_diff(record.golden_source,
+                                    record.buggy_source) == record.line
+
+    def test_record_lines_match_sources(self, corpus_samples, rng):
+        injector = BugInjector(rng)
+        record = injector.inject(corpus_samples[0].source)
+        buggy_line = record.buggy_source.splitlines()[record.line - 1]
+        fixed_line = record.golden_source.splitlines()[record.line - 1]
+        assert buggy_line.strip() == record.buggy_line
+        assert fixed_line.strip() == record.fixed_line
+        assert record.buggy_line != record.fixed_line
+
+    def test_inject_many_distinct(self, corpus_samples, rng):
+        injector = BugInjector(rng)
+        records = injector.inject_many(corpus_samples[1].source, 5)
+        keys = {(r.line, r.buggy_line) for r in records}
+        assert len(keys) == len(records)
+
+    def test_injected_bugs_compile(self, corpus_samples, rng):
+        injector = BugInjector(rng)
+        for seed in corpus_samples[:6]:
+            for record in injector.inject_many(seed.source, 3, seed.name):
+                assert compile_source(record.buggy_source).ok
+
+    def test_kind_marginals_value_heavy(self, corpus_samples):
+        """Injection follows the paper's Table II kind mix (Value-heavy)."""
+        injector = BugInjector(random.Random(42))
+        kinds = []
+        for seed in corpus_samples:
+            for record in injector.inject_many(seed.source, 4, seed.name):
+                kinds.append(record.kind)
+        total = len(kinds)
+        assert total > 40
+        value_share = sum(1 for k in kinds if k == BugKind.VALUE) / total
+        var_share = sum(1 for k in kinds if k == BugKind.VAR) / total
+        assert value_share > 0.4
+        assert var_share < 0.25
+
+    def test_closure_golden_fix_in_repair_space(self, corpus_samples):
+        """The fault model is contained in the repair space."""
+        from repro.model.candidates import enumerate_repairs
+
+        injector = BugInjector(random.Random(8))
+        total = found = 0
+        for seed in corpus_samples[:10]:
+            for record in injector.inject_many(seed.source, 3, seed.name):
+                total += 1
+                space = enumerate_repairs(record.buggy_source)
+                if space.golden_index(record.line,
+                                      record.fixed_line) is not None:
+                    found += 1
+        assert total > 0
+        assert found == total
+
+
+class TestClassification:
+    SOURCE = """
+module demo (input clk, input rst_n, input en, input [3:0] d, output reg [3:0] q, output wire flag);
+  reg [3:0] shadow;
+  assign flag = q == 4'd7;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      q <= 4'd0;
+      shadow <= 4'd0;
+    end
+    else if (en) begin
+      q <= d;
+      shadow <= q;
+    end
+  end
+endmodule
+"""
+
+    @staticmethod
+    def _line_of(source, needle):
+        for i, text in enumerate(source.splitlines()):
+            if text.strip() == needle or needle in text:
+                return i + 1
+        raise AssertionError(f"{needle!r} not found")
+
+    @classmethod
+    def _canonical_module(cls):
+        """AST line numbers must refer to the canonical emission, so (as
+        the pipeline does everywhere) parse the canonical text."""
+        canonical = write_module(parse_module(cls.SOURCE))
+        return parse_module(canonical), canonical
+
+    def test_targets_of_assignment_line(self):
+        module, source = self._canonical_module()
+        line_no = self._line_of(source, "q <= d;")
+        assert targets_of_line(module, line_no) == ["q"]
+
+    def test_targets_of_condition_line(self):
+        module, source = self._canonical_module()
+        cond_line = self._line_of(source, "else if (en)")
+        targets = targets_of_line(module, cond_line)
+        assert set(targets) >= {"q", "shadow"}
+
+    def test_conditionality(self):
+        module, source = self._canonical_module()
+        cond_line = self._line_of(source, "else if (en)")
+        assign_line = self._line_of(source, "q <= d;")
+        assert classify_conditionality(module, cond_line) == Conditionality.COND
+        assert classify_conditionality(module, assign_line) == Conditionality.NON_COND
+
+    def test_relation_direct_vs_indirect(self):
+        module, source = self._canonical_module()
+        q_line = self._line_of(source, "q <= d;")
+        shadow_line = self._line_of(source, "shadow <= q;")
+        assert classify_relation(module, q_line, ["q"]) == Relation.DIRECT
+        assert classify_relation(module, shadow_line, ["q"]) == Relation.INDIRECT
+
+    def test_assertion_expr_signals(self, accu_source):
+        module = parse_module(accu_source)  # label lookup is line-agnostic
+        signals = assertion_expr_signals(module, "valid_out_check_assertion")
+        assert set(signals) == {"end_cnt", "valid_out"}

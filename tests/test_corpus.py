@@ -1,0 +1,135 @@
+"""Corpus templates, generator, syntax breaker and human designs."""
+
+import random
+
+import pytest
+
+from repro.bugs.taxonomy import length_bin_of
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.registry import TEMPLATE_FAMILIES, make_instance, template_names
+from repro.corpus.syntax_breaker import BREAKERS, break_syntax
+from repro.sva.bmc import BmcConfig, bounded_check
+from repro.sva.insert import compile_with_sva
+from repro.verilog.compile import compile_source
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("family", sorted(TEMPLATE_FAMILIES))
+    def test_family_compiles(self, family):
+        seed = make_instance(family, random.Random(11))
+        result = compile_source(seed.source)
+        assert result.ok, f"{family}: {result.failure_summary()}"
+
+    @pytest.mark.parametrize("family", sorted(TEMPLATE_FAMILIES))
+    def test_family_hints_hold_on_golden(self, family):
+        """Every template's SVA hints must pass the bounded check."""
+        seed = make_instance(family, random.Random(23))
+        generator = CorpusGenerator(seed=23)
+        canonical = generator.generate_one(family)
+        blocks = []
+        for hint in canonical.meta.sva_hints:
+            blocks.append(hint.property_source())
+            blocks.append(hint.assertion_source())
+        combined = compile_with_sva(canonical.source, blocks)
+        assert combined.ok, combined.failure_summary()
+        outcome = bounded_check(combined.design,
+                                BmcConfig(depth=8, random_trials=12))
+        assert outcome.passed_bound, f"{family}: {outcome.log_text()}"
+
+    def test_every_family_has_hints_and_spec(self):
+        for family in template_names():
+            seed = make_instance(family, random.Random(5))
+            assert seed.meta.sva_hints, family
+            assert seed.meta.summary, family
+            assert seed.meta.behaviour, family
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            make_instance("not_a_family", random.Random(0))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = CorpusGenerator(seed=3).generate(5)
+        b = CorpusGenerator(seed=3).generate(5)
+        assert [s.source for s in a] == [s.source for s in b]
+
+    def test_different_seeds_differ(self):
+        a = CorpusGenerator(seed=3).generate(5)
+        b = CorpusGenerator(seed=4).generate(5)
+        assert [s.source for s in a] != [s.source for s in b]
+
+    def test_canonical_output(self, corpus_samples):
+        from repro.verilog.parser import parse_module
+        from repro.verilog.writer import write_module
+
+        for seed in corpus_samples[:10]:
+            assert write_module(parse_module(seed.source)) == seed.source
+
+    def test_length_bins_covered(self):
+        """A large-enough sample must populate at least 4 of the 5 bins."""
+        generator = CorpusGenerator(seed=77)
+        bins = {length_bin_of(s.line_count) for s in generator.generate(120)}
+        assert len(bins) >= 4
+
+    def test_unique_module_names(self):
+        generator = CorpusGenerator(seed=13)
+        names = [s.name for s in generator.generate(40)]
+        assert len(set(names)) == len(names)
+
+
+class TestSyntaxBreaker:
+    @pytest.mark.parametrize("kind", sorted(BREAKERS))
+    def test_breaker_produces_failing_code(self, kind, corpus_samples):
+        rng = random.Random(9)
+        broke_any = False
+        for seed in corpus_samples:
+            broken = break_syntax(seed.source, rng, kind=kind)
+            if broken is None:
+                continue
+            broke_any = True
+            broken_kind, broken_source = broken
+            assert broken_kind == kind
+            assert not compile_source(broken_source).ok
+        assert broke_any, f"{kind} never applied to any sample"
+
+    def test_random_kind_selection(self, corpus_samples, rng):
+        broken = break_syntax(corpus_samples[0].source, rng)
+        assert broken is not None
+        _, source = broken
+        assert not compile_source(source).ok
+
+
+class TestHumanCorpus:
+    def test_cases_build_and_validate(self, human_cases):
+        assert len(human_cases) >= 30  # paper: 38
+
+    def test_all_origins_human(self, human_cases):
+        assert all(c.origin == "human" for c in human_cases)
+
+    def test_bug_records_well_formed(self, human_cases):
+        for case in human_cases:
+            record = case.record
+            lines = record.buggy_source.splitlines()
+            assert lines[record.line - 1].strip() == record.buggy_line
+            golden_lines = record.golden_source.splitlines()
+            assert golden_lines[record.line - 1].strip() == record.fixed_line
+
+    def test_logs_mention_failing_assertion(self, human_cases):
+        for case in human_cases:
+            assert "failed assertion" in case.entry.logs
+
+    def test_repair_space_covers_golden(self, human_cases):
+        from repro.model.candidates import enumerate_repairs
+
+        covered = 0
+        for case in human_cases:
+            space = enumerate_repairs(case.entry.buggy_source_with_sva)
+            if space.golden_index(case.record.line,
+                                  case.record.fixed_line) is not None:
+                covered += 1
+        assert covered == len(human_cases)
+
+    def test_case_ids_unique(self, human_cases):
+        ids = [c.case_id for c in human_cases]
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,144 @@
+"""Elaboration: symbols, parameters, semantic checks, writer round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.verilog.compile import compile_source
+from repro.verilog.elaborator import elaborate
+from repro.verilog.errors import VerilogSemanticError
+from repro.verilog.parser import parse_module
+from repro.verilog.writer import write_module
+
+
+class TestSymbols:
+    def test_ports_become_symbols(self):
+        result = compile_source(
+            "module m (input [7:0] a, output reg b);\nendmodule")
+        assert result.design.symbols["a"].width == 8
+        assert result.design.symbols["b"].kind == "reg"
+
+    def test_output_reg_redeclaration_upgrades(self):
+        result = compile_source(
+            "module m (input clk, output b);\nreg b;\n"
+            "always @(posedge clk)\nb <= 1'b0;\nendmodule")
+        assert result.ok
+        assert result.design.symbols["b"].kind == "reg"
+
+    def test_parameter_folding_in_range(self):
+        result = compile_source(
+            "module m (input clk);\nparameter W = 8;\n"
+            "reg [W-1:0] r;\nalways @(posedge clk)\nr <= 0;\nendmodule")
+        assert result.ok
+        assert result.design.symbols["r"].width == 8
+
+    def test_localparam(self):
+        result = compile_source(
+            "module m ();\nlocalparam DEPTH = 4 * 2;\n"
+            "wire [DEPTH-1:0] w;\nassign w = 0;\nendmodule")
+        assert result.ok
+        assert result.design.params["DEPTH"] == 8
+
+    def test_duplicate_declaration_rejected(self):
+        result = compile_source("module m ();\nwire x;\nwire x;\nendmodule")
+        assert not result.ok
+        assert "duplicate" in result.failure_summary()
+
+
+class TestSemanticChecks:
+    def test_undeclared_identifier(self):
+        result = compile_source(
+            "module m (input a, output wire b);\nassign b = ghost;\nendmodule")
+        assert not result.ok
+        assert "ghost" in result.failure_summary()
+
+    def test_assign_to_reg_rejected(self):
+        result = compile_source(
+            "module m (input a);\nreg r;\nassign r = a;\nendmodule")
+        assert not result.ok
+
+    def test_procedural_assign_to_wire_rejected(self):
+        result = compile_source(
+            "module m (input clk, input a);\nwire w;\n"
+            "always @(posedge clk)\nw <= a;\nendmodule")
+        assert not result.ok
+
+    def test_assign_to_input_rejected(self):
+        result = compile_source(
+            "module m (input a);\nassign a = 1'b0;\nendmodule")
+        assert not result.ok
+
+    def test_double_driver_rejected(self):
+        result = compile_source(
+            "module m (input clk, input a);\nreg r;\nwire r2;\n"
+            "assign r2 = a;\nalways @(posedge clk)\nr2 <= a;\nendmodule")
+        assert not result.ok
+
+    def test_hierarchy_unsupported(self):
+        result = compile_source(
+            "module m (input a, output b);\nsub u (.x(a), .y(b));\nendmodule")
+        assert not result.ok
+        assert "hierarchical" in result.failure_summary()
+
+    def test_strict_elaborate_raises(self):
+        module = parse_module("module m ();\nassign ghost = 1'b0;\nendmodule")
+        with pytest.raises(VerilogSemanticError):
+            elaborate(module, strict=True)
+
+    def test_dangling_property_reference(self):
+        result = compile_source(
+            "module m (input clk, input a);\n"
+            "oops: assert property (nothere);\nendmodule")
+        assert not result.ok
+
+
+class TestClockResetDetection:
+    def test_clock_and_reset_split(self):
+        result = compile_source(
+            "module m (input clk, input rst_n, output reg q);\n"
+            "always @(posedge clk or negedge rst_n) begin\n"
+            "if (!rst_n) q <= 1'b0;\nelse q <= 1'b1;\nend\nendmodule")
+        assert result.design.clocks == ["clk"]
+        assert result.design.resets == ["rst_n"]
+
+    def test_free_inputs_exclude_clock_reset(self):
+        result = compile_source(
+            "module m (input clk, input rst_n, input [3:0] d, output reg [3:0] q);\n"
+            "always @(posedge clk or negedge rst_n) begin\n"
+            "if (!rst_n) q <= 4'd0;\nelse q <= d;\nend\nendmodule")
+        assert [s.name for s in result.design.free_inputs()] == ["d"]
+
+
+class TestWriterRoundTrip:
+    def test_corpus_round_trip_idempotent(self, corpus_samples):
+        for seed in corpus_samples:
+            module = parse_module(seed.source)
+            emitted = write_module(module)
+            assert emitted == seed.source  # corpus is canonical already
+            reparsed = parse_module(emitted)
+            assert write_module(reparsed) == emitted
+
+    def test_round_trip_preserves_compile_verdict(self, corpus_samples):
+        for seed in corpus_samples[:8]:
+            emitted = write_module(parse_module(seed.source))
+            assert compile_source(emitted).ok
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_generated_designs_round_trip(self, seed_value):
+        from repro.corpus.generator import CorpusGenerator
+
+        generator = CorpusGenerator(seed=seed_value)
+        seed = generator.generate_one()
+        module = parse_module(seed.source)
+        assert write_module(module) == seed.source
+
+    def test_header_plus_items_equals_module(self, corpus_samples):
+        from repro.verilog.writer import write_header_lines, write_item_lines
+
+        for seed in corpus_samples[:6]:
+            module = parse_module(seed.source)
+            lines = write_header_lines(module)
+            for item in module.items:
+                lines.extend(write_item_lines(item))
+            lines.append("endmodule")
+            assert "\n".join(lines) + "\n" == seed.source

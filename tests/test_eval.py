@@ -1,0 +1,224 @@
+"""Evaluation layer: pass@k estimator properties, runner, buckets, reports."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.engine import BaselineModel, make_baseline
+from repro.baselines.profiles import BASELINE_PROFILES, case_difficulty, get_profile
+from repro.eval.buckets import bucket_pass_at, bug_type_buckets, length_buckets
+from repro.eval.histogram import extremity_mass, histogram_series
+from repro.eval.passk import aggregate_pass_at_k, pass_at_k
+from repro.eval.runner import evaluate_model, is_correct
+from repro.eval.reporting import render_table1, render_table3, render_table4
+from repro.model.assertsolver import SolverResponse
+
+
+class TestPassAtK:
+    def test_all_correct(self):
+        assert pass_at_k(20, 20, 1) == 1.0
+        assert pass_at_k(20, 20, 5) == 1.0
+
+    def test_none_correct(self):
+        assert pass_at_k(20, 0, 1) == 0.0
+        assert pass_at_k(20, 0, 5) == 0.0
+
+    def test_pass1_equals_fraction(self):
+        assert pass_at_k(20, 5, 1) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # n=4, c=2, k=2: 1 - C(2,2)/C(4,2) = 1 - 1/6
+        assert pass_at_k(4, 2, 2) == pytest.approx(1 - 1 / 6)
+
+    def test_k_geq_n(self):
+        assert pass_at_k(5, 1, 5) == 1.0
+        assert pass_at_k(5, 0, 9) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pass_at_k(0, 0, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 6, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 2, 0)
+
+    @given(st.integers(1, 40), st.integers(0, 40), st.integers(1, 10))
+    def test_bounds(self, n, c, k):
+        c = min(c, n)
+        value = pass_at_k(n, c, k)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(2, 40), st.integers(0, 39), st.integers(1, 10))
+    def test_monotone_in_c(self, n, c, k):
+        c = min(c, n - 1)
+        assert pass_at_k(n, c + 1, k) >= pass_at_k(n, c, k)
+
+    @given(st.integers(2, 40), st.integers(0, 40), st.integers(1, 9))
+    def test_monotone_in_k(self, n, c, k):
+        c = min(c, n)
+        assert pass_at_k(n, c, k + 1) >= pass_at_k(n, c, k)
+
+    def test_aggregate_average(self):
+        counts = [(20, 20), (20, 0)]
+        assert aggregate_pass_at_k(counts, 1) == pytest.approx(0.5)
+
+    def test_aggregate_empty(self):
+        assert aggregate_pass_at_k([], 1) == 0.0
+
+
+class TestCorrectness:
+    def test_is_correct_matches_line_and_fix(self, small_bundle):
+        case = small_bundle.sva_eval_machine[0]
+        record = case.record
+        good = SolverResponse(record.line, record.buggy_line,
+                              record.fixed_line)
+        assert is_correct(good, case)
+
+    def test_whitespace_normalised(self, small_bundle):
+        case = small_bundle.sva_eval_machine[0]
+        record = case.record
+        spaced = SolverResponse(record.line, record.buggy_line,
+                                "  " + record.fixed_line.replace(" ", "  "))
+        assert is_correct(spaced, case)
+
+    def test_wrong_line_rejected(self, small_bundle):
+        case = small_bundle.sva_eval_machine[0]
+        record = case.record
+        wrong = SolverResponse(record.line + 1, record.buggy_line,
+                               record.fixed_line)
+        assert not is_correct(wrong, case)
+
+    def test_wrong_fix_rejected(self, small_bundle):
+        case = small_bundle.sva_eval_machine[0]
+        record = case.record
+        wrong = SolverResponse(record.line, record.buggy_line,
+                               record.fixed_line + " // nope")
+        assert not is_correct(wrong, case)
+
+
+class TestRunner:
+    def test_evaluate_model_counts(self, small_bundle, trained_models):
+        _, sft, _ = trained_models
+        result = evaluate_model(sft, small_bundle.sva_eval_machine, n=8)
+        assert len(result.outcomes) == len(small_bundle.sva_eval_machine)
+        for outcome in result.outcomes:
+            assert 0 <= outcome.c <= outcome.n == 8
+
+    def test_histogram_total(self, small_bundle, trained_models):
+        _, sft, _ = trained_models
+        result = evaluate_model(sft, small_bundle.sva_eval_machine, n=8)
+        series = histogram_series(result, n=8)
+        assert sum(series) == len(result.outcomes)
+        assert 0.0 <= extremity_mass(result, n=8) <= 1.0
+
+    def test_origin_split(self, small_bundle, trained_models, human_cases):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine + human_cases[:4]
+        result = evaluate_model(sft, cases, n=6)
+        assert result.pass_at_origin(1, "machine") >= 0.0
+        assert result.pass_at_origin(1, "human") >= 0.0
+
+
+class TestBuckets:
+    def test_bug_type_buckets_partition_axes(self, small_bundle,
+                                             trained_models):
+        _, sft, _ = trained_models
+        result = evaluate_model(sft, small_bundle.sva_eval_machine, n=4)
+        buckets = bug_type_buckets(result)
+        n = len(result.outcomes)
+        assert len(buckets["Direct"]) + len(buckets["Indirect"]) == n
+        assert len(buckets["Cond"]) + len(buckets["Non_cond"]) == n
+
+    def test_length_buckets_cover_all(self, small_bundle, trained_models):
+        _, sft, _ = trained_models
+        result = evaluate_model(sft, small_bundle.sva_eval_machine, n=4)
+        buckets = length_buckets(result)
+        assert sum(len(v) for v in buckets.values()) == len(result.outcomes)
+
+    def test_bucket_pass_at_unknown_axis(self, small_bundle, trained_models):
+        _, sft, _ = trained_models
+        result = evaluate_model(sft, small_bundle.sva_eval_machine, n=4)
+        with pytest.raises(ValueError):
+            bucket_pass_at(result, 1, by="colour")
+
+
+class TestBaselines:
+    def test_profiles_exist_for_paper_models(self):
+        for name in ("Claude-3.5", "GPT-4", "o1-preview", "CodeLlama-7b",
+                     "Llama-3.1-8b", "Deepseek-coder-6.7b"):
+            assert get_profile(name).name == name
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("GPT-17")
+
+    def test_deterministic_per_case(self, small_bundle):
+        model = make_baseline("GPT-4", seed=1)
+        case = small_bundle.sva_eval_machine[0]
+        a = [r.to_json() for r in model.generate_case(case, n=10)]
+        b = [r.to_json() for r in model.generate_case(case, n=10)]
+        assert a == b
+
+    def test_difficulty_monotone_in_length(self):
+        easy = case_difficulty("Value", "Direct", "Non_cond", 0, False)
+        hard = case_difficulty("Value", "Direct", "Non_cond", 4, False)
+        assert hard > easy
+
+    def test_human_cases_harder(self):
+        machine = case_difficulty("Op", "Direct", "Cond", 1, False)
+        human = case_difficulty("Op", "Direct", "Cond", 1, True)
+        assert human > machine
+
+    def test_ordering_on_benchmark(self, small_bundle, human_cases):
+        """The published ordering must hold: o1 ~ Claude > GPT-4 >>
+        Llama-3.1 > CodeLlama ~ Deepseek."""
+        cases = small_bundle.sva_eval_machine + human_cases
+        scores = {}
+        for name in ("o1-preview", "Claude-3.5", "GPT-4", "Llama-3.1-8b",
+                     "CodeLlama-7b", "Deepseek-coder-6.7b"):
+            model = make_baseline(name, seed=0)
+            result = evaluate_model(model, cases, n=20)
+            scores[name] = result.pass_at(1)
+        assert scores["o1-preview"] > scores["GPT-4"]
+        assert scores["Claude-3.5"] > scores["GPT-4"]
+        assert scores["GPT-4"] > scores["Llama-3.1-8b"]
+        assert scores["Llama-3.1-8b"] > scores["CodeLlama-7b"]
+        assert scores["Llama-3.1-8b"] > scores["Deepseek-coder-6.7b"]
+
+    def test_format_errors_produce_wrong_answers(self, small_bundle):
+        model = make_baseline("Deepseek-coder-6.7b", seed=0)
+        case = small_bundle.sva_eval_machine[0]
+        responses = model.generate_case(case, n=40)
+        assert any(r.fix == "<malformed response>" for r in responses)
+
+
+class TestReporting:
+    def test_table1_renders_all_types(self):
+        text = render_table1()
+        for name in ("Direct", "Indirect", "Var", "Value", "Op", "Cond",
+                     "Non_cond"):
+            assert name in text
+
+    def test_table3_includes_paper_numbers(self, small_bundle,
+                                           trained_models):
+        base, sft, solver = trained_models
+        results = {
+            "Base Model": evaluate_model(base,
+                                         small_bundle.sva_eval_machine, n=4),
+            "SFT Model": evaluate_model(sft,
+                                        small_bundle.sva_eval_machine, n=4),
+            "AssertSolver": evaluate_model(solver,
+                                           small_bundle.sva_eval_machine,
+                                           n=4),
+        }
+        text = render_table3(results)
+        assert "paper 88.54" in text
+        assert "pass@1" in text and "pass@5" in text
+
+    def test_table4_renders(self, small_bundle, trained_models):
+        _, sft, _ = trained_models
+        result = evaluate_model(sft, small_bundle.sva_eval_machine, n=4)
+        text = render_table4({"AssertSolver": result})
+        assert "Machine@1" in text and "(paper)" in text

@@ -1,0 +1,130 @@
+"""Expression evaluator semantics over 4-state environments."""
+
+import pytest
+
+from repro.sim.eval import EvalError, Evaluator
+from repro.sim.values import FourState
+from repro.verilog import ast
+from repro.verilog.parser import parse_module
+
+
+def make_evaluator(env, params=None):
+    def lookup(name):
+        try:
+            return env[name]
+        except KeyError:
+            raise EvalError(name)
+    return Evaluator(lookup, params or {})
+
+
+def parse_rhs(text):
+    module = parse_module(
+        "module t (input [7:0] a, input [7:0] b, input c);\n"
+        f"wire [15:0] w;\nassign w = {text};\nendmodule")
+    assigns = [i for i in module.items
+               if isinstance(i, ast.ContinuousAssign)]
+    return assigns[-1].value
+
+
+def evaluate(text, **values):
+    env = {name: FourState(8, v) if not isinstance(v, FourState) else v
+           for name, v in values.items()}
+    return make_evaluator(env).eval(parse_rhs(text))
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        assert evaluate("a + b", a=3, b=4).to_int() == 7
+        assert evaluate("a - b", a=3, b=4).to_int() == 255  # 8-bit wrap
+        assert evaluate("a * b", a=5, b=5).to_int() == 25
+        assert evaluate("a / b", a=9, b=2).to_int() == 4
+        assert evaluate("a % b", a=9, b=2).to_int() == 1
+
+    def test_bitwise(self):
+        assert evaluate("a & b", a=0b1100, b=0b1010).to_int() == 0b1000
+        assert evaluate("a | b", a=0b1100, b=0b1010).to_int() == 0b1110
+        assert evaluate("a ^ b", a=0b1100, b=0b1010).to_int() == 0b0110
+        assert evaluate("~a", a=0).to_int() == 255
+
+    def test_comparisons(self):
+        assert evaluate("a == b", a=4, b=4).is_true()
+        assert evaluate("a != b", a=4, b=5).is_true()
+        assert evaluate("a < b", a=4, b=5).is_true()
+        assert evaluate("a >= b", a=5, b=5).is_true()
+
+    def test_logical(self):
+        assert evaluate("a && b", a=2, b=3).is_true()
+        assert evaluate("a && b", a=0, b=3).is_false()
+        assert evaluate("a || b", a=0, b=0).is_false()
+        assert evaluate("!a", a=0).is_true()
+
+    def test_shifts(self):
+        assert evaluate("a << 2", a=1).to_int() == 4
+        assert evaluate("a >> 1", a=4).to_int() == 2
+
+    def test_reductions(self):
+        assert evaluate("&a", a=255).is_true()
+        assert evaluate("|a", a=0).is_false()
+        assert evaluate("^a", a=0b0111).is_true()
+
+    def test_ternary_known(self):
+        assert evaluate("c ? a : b", c=1, a=10, b=20).to_int() == 10
+        assert evaluate("c ? a : b", c=0, a=10, b=20).to_int() == 20
+
+    def test_ternary_unknown_select_merges(self):
+        out = evaluate("c ? a : b", c=FourState.unknown(1), a=10, b=10)
+        assert out.to_int() == 10 and not out.has_x
+        out = evaluate("c ? a : b", c=FourState.unknown(1), a=10, b=11)
+        assert out.has_x
+
+    def test_selects(self):
+        assert evaluate("a[2]", a=0b0100).is_true()
+        assert evaluate("a[3:1]", a=0b1010).to_int() == 0b101
+
+    def test_concat_and_repeat(self):
+        assert evaluate("{a[3:0], b[3:0]}", a=0xA, b=0x5).to_int() == 0xA5
+        assert evaluate("{2{a[3:0]}}", a=0xF).to_int() == 0xFF
+
+    def test_case_equality(self):
+        x = FourState(8, 0, 0xFF)
+        assert evaluate("a === b", a=x, b=x).is_true()
+        assert evaluate("a !== b", a=x, b=3).is_true()
+
+    def test_sized_literals(self):
+        assert evaluate("a + 8'd10", a=5).to_int() == 15
+
+
+class TestSysFunctions:
+    def test_countones(self):
+        assert evaluate("$countones(a)", a=0b1011).to_int() == 3
+
+    def test_onehot(self):
+        assert evaluate("$onehot(a)", a=0b0100).is_true()
+        assert evaluate("$onehot(a)", a=0b0110).is_false()
+        assert evaluate("$onehot0(a)", a=0).is_true()
+
+    def test_temporal_requires_hook(self):
+        with pytest.raises(EvalError):
+            evaluate("$past(a)", a=1)
+
+
+class TestParams:
+    def test_parameter_lookup(self):
+        evaluator = make_evaluator({}, params={"W": 12})
+        value = evaluator.eval(ast.Ident("W"))
+        assert value.to_int() == 12
+
+    def test_unknown_identifier_raises(self):
+        evaluator = make_evaluator({})
+        with pytest.raises(EvalError):
+            evaluator.eval(ast.Ident("ghost"))
+
+
+class TestEvalBool:
+    def test_truthiness(self):
+        evaluator = make_evaluator({"x": FourState(8, 2)})
+        assert evaluator.eval_bool(ast.Ident("x")).is_true()
+
+    def test_unknown_propagates(self):
+        evaluator = make_evaluator({"x": FourState.unknown(8)})
+        assert evaluator.eval_bool(ast.Ident("x")).has_x

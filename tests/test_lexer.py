@@ -1,0 +1,146 @@
+"""Lexer unit + property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verilog.errors import VerilogLexError
+from repro.verilog.lexer import Token, parse_number_literal, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_and_identifiers(self):
+        tokens = kinds("module foo endmodule")
+        assert tokens == [("kw", "module"), ("id", "foo"), ("kw", "endmodule")]
+
+    def test_eof_terminates_stream(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_operators_maximal_munch(self):
+        tokens = [t.text for t in tokenize("a <= b <<< 2 == c")[:-1]]
+        assert tokens == ["a", "<=", "b", "<<<", "2", "==", "c"]
+
+    def test_implication_operators(self):
+        tokens = [t.text for t in tokenize("a |-> b |=> c ##1 d")[:-1]]
+        assert "|->" in tokens and "|=>" in tokens and "##" in tokens
+
+    def test_system_task_token(self):
+        tokens = kinds("$error $past")
+        assert tokens == [("sys", "$error"), ("sys", "$past")]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world";')
+        assert tokens[0].kind == "str"
+        assert tokens[0].text == "hello world"
+
+    def test_string_with_escape(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].text == 'a"b'
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens[:-1]]
+        assert lines == [1, 2, 4]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [("id", "a"), ("id", "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == [("id", "a"), ("id", "b")]
+
+    def test_block_comment_preserves_lines(self):
+        tokens = tokenize("/* one\ntwo */ a")
+        assert tokens[0].line == 2
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(VerilogLexError):
+            tokenize("/* never closed")
+
+    def test_directive_skipped(self):
+        assert kinds("`timescale 1ns/1ps\na") == [("id", "a")]
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        assert parse_number_literal("42") == (None, 42, 0)
+
+    def test_sized_binary(self):
+        assert parse_number_literal("4'b1010") == (4, 10, 0)
+
+    def test_sized_decimal(self):
+        assert parse_number_literal("8'd255") == (8, 255, 0)
+
+    def test_sized_hex(self):
+        assert parse_number_literal("12'hABC") == (12, 0xABC, 0)
+
+    def test_underscores_ignored(self):
+        assert parse_number_literal("8'b1010_1010") == (8, 0xAA, 0)
+
+    def test_x_bits_masked(self):
+        width, value, xmask = parse_number_literal("4'b1x0x")
+        assert width == 4
+        assert xmask == 0b0101
+        assert value == 0b1000
+
+    def test_truncation_to_width(self):
+        width, value, _ = parse_number_literal("4'd255")
+        assert value == 15
+
+    def test_signed_marker_accepted(self):
+        assert parse_number_literal("8'sd5") == (8, 5, 0)
+
+    def test_bad_base_raises(self):
+        with pytest.raises(VerilogLexError):
+            tokenize("4'q1010")
+
+    def test_missing_digits_raises(self):
+        with pytest.raises(VerilogLexError):
+            tokenize("4'b;")
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_binary_literals(self, width, value):
+        value &= (1 << width) - 1
+        text = f"{width}'b{value:0{width}b}"
+        parsed_width, parsed_value, xmask = parse_number_literal(text)
+        assert parsed_width == width
+        assert parsed_value == value
+        assert xmask == 0
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=0, max_value=65535))
+    def test_roundtrip_decimal_literals(self, width, value):
+        value &= (1 << width) - 1
+        parsed = parse_number_literal(f"{width}'d{value}")
+        assert parsed == (width, value, 0)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(VerilogLexError):
+            tokenize("a \\ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(VerilogLexError):
+            tokenize('"never closed')
+
+    def test_newline_in_string(self):
+        with pytest.raises(VerilogLexError):
+            tokenize('"line\nbreak"')
+
+
+class TestTokenHelpers:
+    def test_is_op(self):
+        token = Token("op", "+", 1)
+        assert token.is_op("+", "-")
+        assert not token.is_op("*")
+
+    def test_is_kw(self):
+        token = Token("kw", "module", 1)
+        assert token.is_kw("module")
+        assert not token.is_kw("endmodule")

@@ -1,0 +1,120 @@
+"""Annotation oracles: spec writer, SVA hallucination model, CoT validity."""
+
+import random
+
+from repro.datagen.stage2 import validate_svas
+from repro.oracles.cot import CotOracle
+from repro.oracles.spec import analyze_compile_failure, write_spec
+from repro.oracles.sva import SvaOracle
+from repro.sva.bmc import BmcConfig
+
+
+class TestSpecOracle:
+    def test_spec_lists_ports(self, corpus_samples):
+        seed = corpus_samples[0]
+        spec = write_spec(seed.source, seed.meta)
+        assert "## Ports" in spec and "## Function" in spec
+        assert "clk" in spec
+
+    def test_spec_includes_behaviour(self, corpus_samples):
+        seed = corpus_samples[0]
+        spec = write_spec(seed.source, seed.meta)
+        for bullet in seed.meta.behaviour[:2]:
+            assert bullet in spec
+
+    def test_spec_without_meta(self, corpus_samples):
+        spec = write_spec(corpus_samples[0].source, None)
+        assert "## Ports" in spec
+
+    def test_failure_analysis_empty_for_good_code(self, corpus_samples):
+        assert analyze_compile_failure(corpus_samples[0].source) == ""
+
+    def test_failure_analysis_explains(self):
+        analysis = analyze_compile_failure(
+            "module m ();\nassign ghost = 1'b0;\nendmodule")
+        assert "Compilation fails" in analysis
+        assert "Likely cause" in analysis
+
+
+class TestSvaOracle:
+    def test_no_hallucination_passes_validation(self, corpus_samples):
+        oracle = SvaOracle(random.Random(1), hallucination_rate=0.0)
+        seed = corpus_samples[0]
+        proposals = oracle.propose(seed)
+        assert all(p.distortion is None for p in proposals)
+        valid, rejected = validate_svas(seed, proposals,
+                                        BmcConfig(depth=8, random_trials=10))
+        assert rejected == 0
+        assert len(valid) == len(proposals)
+
+    def test_full_hallucination_mostly_rejected(self, corpus_samples):
+        oracle = SvaOracle(random.Random(2), hallucination_rate=1.0)
+        total_rejected = 0
+        total = 0
+        for seed in corpus_samples[:6]:
+            proposals = oracle.propose(seed)
+            assert all(p.distortion is not None for p in proposals)
+            valid, rejected = validate_svas(
+                seed, proposals, BmcConfig(depth=8, random_trials=10))
+            total_rejected += rejected
+            total += len(proposals)
+        # The whole point of Stage 2: hallucinations get filtered.  A few
+        # distortions can survive as weaker-but-true properties.
+        assert total_rejected >= total * 0.5
+
+    def test_syntax_distortion_never_compiles(self, corpus_samples):
+        from repro.sva.insert import compile_with_sva
+
+        oracle = SvaOracle(random.Random(3), hallucination_rate=1.0)
+        seed = corpus_samples[0]
+        saw_syntax = False
+        for _ in range(20):
+            for proposal in oracle.propose(seed):
+                if proposal.distortion == "syntax":
+                    saw_syntax = True
+                    assert not compile_with_sva(seed.source,
+                                                proposal.blocks()).ok
+        assert saw_syntax
+
+    def test_deterministic(self, corpus_samples):
+        seed = corpus_samples[0]
+        a = SvaOracle(random.Random(7), 0.5).propose(seed)
+        b = SvaOracle(random.Random(7), 0.5).propose(seed)
+        assert [p.distortion for p in a] == [p.distortion for p in b]
+
+
+class TestCotOracle:
+    def _one_entry(self, small_bundle):
+        return small_bundle.sva_bug_train[0]
+
+    def test_correct_chain_concludes_golden(self, small_bundle):
+        entry = self._one_entry(small_bundle)
+        oracle = CotOracle(random.Random(1), validity_rate=1.0)
+        proposal = oracle.generate(entry.record, entry.logs,
+                                   entry.assertion_signals)
+        assert proposal.is_correct_for(entry.record)
+        assert "Step 1" in proposal.text
+        assert str(entry.record.line) in proposal.text
+
+    def test_derailed_chain_rejected(self, small_bundle):
+        entry = self._one_entry(small_bundle)
+        oracle = CotOracle(random.Random(1), validity_rate=0.0)
+        proposal = oracle.generate(entry.record, entry.logs,
+                                   entry.assertion_signals)
+        assert not proposal.is_correct_for(entry.record)
+
+    def test_validity_rate_calibration(self, small_bundle):
+        """Observed validity over many generations approaches the paper's
+        74.55% setting."""
+        oracle = CotOracle(random.Random(5))
+        entries = small_bundle.sva_bug_train
+        correct = 0
+        total = 0
+        for _ in range(6):
+            for entry in entries:
+                proposal = oracle.generate(entry.record, entry.logs,
+                                           entry.assertion_signals)
+                total += 1
+                correct += proposal.is_correct_for(entry.record)
+        assert total >= 60
+        assert 0.55 <= correct / total <= 0.92

@@ -1,0 +1,255 @@
+"""Simulator semantics: NBA timing, reset, settling, case variants."""
+
+import pytest
+
+from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.stimulus import Stimulus
+from repro.verilog.compile import compile_source
+
+
+def run(source, vectors, signals=None, reset_cycles=2):
+    result = compile_source(source)
+    assert result.ok, result.failure_summary()
+    sim = Simulator(result.design)
+    return sim.run(Stimulus(vectors, reset_cycles), signals)
+
+
+COUNTER = """
+module counter (input clk, input rst_n, input en, output reg [3:0] count);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) count <= 4'd0;
+    else if (en) count <= count + 4'd1;
+  end
+endmodule
+"""
+
+
+class TestSequentialBasics:
+    def test_reset_clears_counter(self):
+        trace = run(COUNTER, [{"en": 0}])
+        assert trace.value("count", 1).to_int() == 0
+
+    def test_counter_counts_when_enabled(self):
+        trace = run(COUNTER, [{"en": 1}] * 5)
+        # snapshots are pre-edge: count at cycle k reflects k-2 enabled edges
+        values = [trace.value("count", i).to_int() for i in range(2, 7)]
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_counter_holds_when_disabled(self):
+        trace = run(COUNTER, [{"en": 1}] * 3 + [{"en": 0}] * 3)
+        held = trace.value("count", 6).to_int()
+        assert trace.value("count", 7).to_int() == held
+
+    def test_counter_wraps(self):
+        trace = run(COUNTER, [{"en": 1}] * 18)
+        assert trace.value("count", 18).to_int() == 0  # 16 edges -> wrap
+
+    def test_uninitialized_reg_is_x_before_reset(self):
+        result = compile_source(COUNTER)
+        sim = Simulator(result.design)
+        assert sim.env["count"].all_x
+
+
+class TestNbaSemantics:
+    SWAP = """
+module swapper (input clk, input rst_n, output reg [3:0] a, output reg [3:0] b);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      a <= 4'd1;
+      b <= 4'd2;
+    end
+    else begin
+      a <= b;
+      b <= a;
+    end
+  end
+endmodule
+"""
+
+    def test_nonblocking_swap(self):
+        """The classic: both NBAs read pre-edge values, so a/b swap."""
+        trace = run(self.SWAP, [{}] * 3)
+        assert (trace.value("a", 2).to_int(), trace.value("b", 2).to_int()) == (1, 2)
+        assert (trace.value("a", 3).to_int(), trace.value("b", 3).to_int()) == (2, 1)
+        assert (trace.value("a", 4).to_int(), trace.value("b", 4).to_int()) == (1, 2)
+
+    PIPELINE = """
+module pipe2 (input clk, input rst_n, input [3:0] din, output reg [3:0] s1, output reg [3:0] s2);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      s1 <= 4'd0;
+      s2 <= 4'd0;
+    end
+    else begin
+      s1 <= din;
+      s2 <= s1;
+    end
+  end
+endmodule
+"""
+
+    def test_pipeline_stages_delay_by_one(self):
+        trace = run(self.PIPELINE, [{"din": v} for v in (5, 6, 7, 8)])
+        assert trace.value("s1", 4).to_int() == 6
+        assert trace.value("s2", 4).to_int() == 5
+
+
+class TestCombinational:
+    def test_assign_settles(self):
+        source = """
+module comb (input [3:0] a, input [3:0] b, output wire [3:0] x, output wire [3:0] y, input clk, input rst_n);
+  assign x = a & b;
+  assign y = x | 4'd1;
+endmodule
+"""
+        trace = run(source, [{"a": 0b1100, "b": 0b1010}])
+        assert trace.value("x", 2).to_int() == 0b1000
+        assert trace.value("y", 2).to_int() == 0b1001
+
+    def test_comb_always_block(self):
+        source = """
+module comb2 (input [1:0] sel, input [3:0] a, input [3:0] b, output reg [3:0] out, input clk, input rst_n);
+  always @(*) begin
+    if (sel == 2'd0) out = a;
+    else out = b;
+  end
+endmodule
+"""
+        trace = run(source, [{"sel": 0, "a": 3, "b": 9},
+                             {"sel": 1, "a": 3, "b": 9}])
+        assert trace.value("out", 2).to_int() == 3
+        assert trace.value("out", 3).to_int() == 9
+
+    def test_comb_loop_settles_to_x(self):
+        """With pessimistic 4-state evaluation an inverter loop converges
+        to X immediately (X in -> X out), so the engine settles rather
+        than oscillating; the loop guard exists for blocking-assignment
+        pathologies."""
+        source = """
+module loop (input clk, input rst_n, output wire a, output wire b);
+  assign a = ~b;
+  assign b = ~a;
+endmodule
+"""
+        result = compile_source(source)
+        sim = Simulator(result.design)
+        trace = sim.run(Stimulus([{}]))
+        assert trace.value("a", 0).has_x
+        assert trace.value("b", 0).has_x
+
+
+class TestCaseStatements:
+    def test_case_selects(self):
+        source = """
+module mux (input clk, input rst_n, input [1:0] sel, output reg [3:0] out);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) out <= 4'd0;
+    else begin
+      case (sel)
+      2'd0: out <= 4'd10;
+      2'd1: out <= 4'd11;
+      default: out <= 4'd15;
+      endcase
+    end
+  end
+endmodule
+"""
+        trace = run(source, [{"sel": 0}, {"sel": 1}, {"sel": 3}, {"sel": 3}])
+        assert trace.value("out", 3).to_int() == 10
+        assert trace.value("out", 4).to_int() == 11
+        assert trace.value("out", 5).to_int() == 15
+
+    def test_casez_wildcards(self):
+        source = """
+module cz (input clk, input rst_n, input [2:0] code, output reg hit);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) hit <= 1'b0;
+    else begin
+      casez (code)
+      3'b1zz: hit <= 1'b1;
+      default: hit <= 1'b0;
+      endcase
+    end
+  end
+endmodule
+"""
+        trace = run(source, [{"code": 0b101}, {"code": 0b011}, {"code": 0b011}])
+        assert trace.value("hit", 3).to_int() == 1
+        assert trace.value("hit", 4).to_int() == 0
+
+
+class TestAssignmentTargets:
+    def test_bit_select_target(self):
+        source = """
+module bits (input clk, input rst_n, input din, output reg [3:0] r);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) r <= 4'd0;
+    else r[2] <= din;
+  end
+endmodule
+"""
+        trace = run(source, [{"din": 1}, {"din": 1}])
+        assert trace.value("r", 3).to_int() == 0b0100
+
+    def test_part_select_target(self):
+        source = """
+module parts (input clk, input rst_n, input [1:0] din, output reg [3:0] r);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) r <= 4'd0;
+    else r[3:2] <= din;
+  end
+endmodule
+"""
+        trace = run(source, [{"din": 0b11}, {"din": 0b11}])
+        assert trace.value("r", 3).to_int() == 0b1100
+
+    def test_shift_register_concat_rhs(self):
+        source = """
+module sr (input clk, input rst_n, input din, output reg [3:0] r);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) r <= 4'd0;
+    else r <= {r[2:0], din};
+  end
+endmodule
+"""
+        trace = run(source, [{"din": 1}, {"din": 0}, {"din": 1}, {"din": 1}])
+        assert trace.value("r", 5).to_int() == 0b101
+
+
+class TestResetBehaviour:
+    def test_active_high_reset_detected(self):
+        source = """
+module hi_rst (input clk, input reset, output reg [3:0] q);
+  always @(posedge clk or posedge reset) begin
+    if (reset) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+endmodule
+"""
+        result = compile_source(source)
+        assert result.ok
+        assert "reset" in result.design.resets
+        sim = Simulator(result.design)
+        trace = sim.run(Stimulus([{}] * 3))
+        assert trace.value("q", 2).to_int() == 0
+        assert trace.value("q", 4).to_int() == 2
+
+    def test_drive_unknown_input_raises(self):
+        result = compile_source(COUNTER)
+        sim = Simulator(result.design)
+        with pytest.raises(SimulationError):
+            sim.run(Stimulus([{"ghost": 1}]))
+
+
+class TestDeterminism:
+    def test_same_stimulus_same_trace(self, corpus_samples):
+        from repro.sim.stimulus import reset_sequence
+        import random
+
+        for seed in corpus_samples[:4]:
+            result = compile_source(seed.source)
+            assert result.ok
+            stim = reset_sequence(result.design, 6, random.Random(3))
+            t1 = Simulator(result.design).run(stim)
+            t2 = Simulator(result.design).run(stim)
+            assert all(t1[i] == t2[i] for i in range(len(t1)))

@@ -1,0 +1,128 @@
+"""Trace container and stimulus generators."""
+
+import random
+
+import pytest
+
+from repro.sim.stimulus import (
+    Stimulus,
+    constant_sequence,
+    enumerate_exhaustive,
+    reset_sequence,
+    reset_values,
+    toggle_sequence,
+    walking_ones_sequence,
+)
+from repro.sim.trace import Trace
+from repro.sim.values import FourState
+from repro.verilog.compile import compile_source
+
+DESIGN = """
+module stim_target (input clk, input rst_n, input a, input [2:0] b, output reg y);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) y <= 1'b0;
+    else y <= a ^ b[0];
+  end
+endmodule
+"""
+
+
+@pytest.fixture()
+def design():
+    result = compile_source(DESIGN)
+    assert result.ok
+    return result.design
+
+
+class TestTrace:
+    def test_append_and_index(self):
+        trace = Trace(["x"])
+        trace.append({"x": FourState(4, 3)})
+        trace.append({"x": FourState(4, 5)})
+        assert len(trace) == 2
+        assert trace.value("x", 1).to_int() == 5
+
+    def test_column(self):
+        trace = Trace(["x"])
+        for v in (1, 2, 3):
+            trace.append({"x": FourState(4, v)})
+        assert [v.to_int() for v in trace.column("x")] == [1, 2, 3]
+
+    def test_snapshots_are_copies(self):
+        trace = Trace(["x"])
+        snapshot = {"x": FourState(4, 1)}
+        trace.append(snapshot)
+        snapshot["x"] = FourState(4, 9)
+        assert trace.value("x", 0).to_int() == 1
+
+    def test_to_table_renders(self):
+        trace = Trace(["x"])
+        trace.append({"x": FourState(4, 7)})
+        trace.append({"x": FourState.unknown(4)})
+        table = trace.to_table(["x"])
+        assert "cycle" in table
+        assert "7" in table and "x" in table
+
+    def test_to_table_empty(self):
+        assert "(empty trace)" in Trace().to_table()
+
+
+class TestResetValues:
+    def test_active_low_detection(self, design):
+        assert reset_values(design, active=True) == {"rst_n": 0}
+        assert reset_values(design, active=False) == {"rst_n": 1}
+
+    def test_active_high(self):
+        result = compile_source("""
+module hi (input clk, input reset, output reg q);
+  always @(posedge clk or posedge reset) begin
+    if (reset) q <= 1'b0;
+    else q <= 1'b1;
+  end
+endmodule
+""")
+        assert reset_values(result.design, active=True) == {"reset": 1}
+
+
+class TestGenerators:
+    def test_constant_sequences(self, design):
+        ones = constant_sequence(design, 4, 1)
+        zeros = constant_sequence(design, 4, 0)
+        assert all(v == {"a": 1, "b": 7} for v in ones.vectors)
+        assert all(v == {"a": 0, "b": 0} for v in zeros.vectors)
+
+    def test_toggle_alternates(self, design):
+        stim = toggle_sequence(design, 4, phase=0)
+        assert stim[0]["a"] == 0 and stim[1]["a"] == 1
+
+    def test_walking_ones_covers_every_bit(self, design):
+        stim = walking_ones_sequence(design, 8)
+        seen = set()
+        for vector in stim.vectors:
+            for name, value in vector.items():
+                if value:
+                    seen.add((name, value))
+        # 4 input bits total: a plus b[2:0]
+        assert len(seen) == 4
+
+    def test_random_deterministic_by_seed(self, design):
+        a = reset_sequence(design, 5, random.Random(3))
+        b = reset_sequence(design, 5, random.Random(3))
+        assert a.vectors == b.vectors
+
+    def test_random_values_in_range(self, design):
+        stim = reset_sequence(design, 20, random.Random(1))
+        for vector in stim.vectors:
+            assert 0 <= vector["a"] <= 1
+            assert 0 <= vector["b"] <= 7
+
+    def test_exhaustive_count(self, design):
+        stimuli = list(enumerate_exhaustive(design, depth=1))
+        # 4 input bits, depth 1 -> 16 sequences
+        assert len(stimuli) == 16
+        assert len({tuple(sorted(s[0].items())) for s in stimuli}) == 16
+
+    def test_extended(self):
+        stim = Stimulus([{"a": 0}])
+        longer = stim.extended([{"a": 1}])
+        assert len(longer) == 2 and len(stim) == 1

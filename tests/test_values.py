@@ -1,0 +1,240 @@
+"""4-state value algebra: unit tests + hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.values import FourState
+
+
+def fs(width, value, xmask=0):
+    return FourState(width, value, xmask)
+
+
+@st.composite
+def fourstates(draw, max_width=16):
+    width = draw(st.integers(min_value=1, max_value=max_width))
+    value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    xmask = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return FourState(width, value, xmask)
+
+
+@st.composite
+def known_fourstates(draw, max_width=16):
+    width = draw(st.integers(min_value=1, max_value=max_width))
+    value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return FourState(width, value, 0)
+
+
+class TestConstruction:
+    def test_canonical_x_bits_zeroed(self):
+        v = fs(4, 0b1111, 0b0101)
+        assert v.value == 0b1010
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FourState(0)
+
+    def test_unknown_constructor(self):
+        v = FourState.unknown(8)
+        assert v.all_x and v.has_x
+
+    def test_from_bool(self):
+        assert FourState.from_bool(True).to_int() == 1
+        assert FourState.from_bool(False).is_false()
+
+    def test_equality_with_int(self):
+        assert fs(8, 42) == 42
+        assert FourState.unknown(8) != 42
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert fs(8, 10).add(fs(8, 20)).to_int() == 30
+
+    def test_add_wraps(self):
+        assert fs(4, 15).add(fs(4, 1)).to_int() == 0
+
+    def test_sub_wraps(self):
+        assert fs(4, 0).sub(fs(4, 1)).to_int() == 15
+
+    def test_x_poisons_arithmetic(self):
+        assert fs(8, 10).add(FourState.unknown(8)).all_x
+
+    def test_div_by_zero_is_x(self):
+        assert fs(8, 10).div(fs(8, 0)).all_x
+
+    def test_mod(self):
+        assert fs(8, 10).mod(fs(8, 3)).to_int() == 1
+
+    @given(known_fourstates(), known_fourstates())
+    def test_add_commutative(self, a, b):
+        assert a.add(b) == b.add(a)
+
+    @given(known_fourstates())
+    def test_add_zero_identity(self, a):
+        zero = FourState(a.width, 0)
+        assert a.add(zero) == a
+
+    @given(known_fourstates())
+    def test_sub_self_is_zero(self, a):
+        assert a.sub(a).to_int() == 0
+
+
+class TestBitwise:
+    def test_and_with_known_zero_rescues_x(self):
+        x = FourState.unknown(4)
+        zero = fs(4, 0)
+        assert x.bit_and(zero).is_false()
+
+    def test_or_with_known_one_rescues_x(self):
+        x = FourState.unknown(1)
+        one = fs(1, 1)
+        assert x.bit_or(one).is_true()
+
+    def test_xor_propagates_x(self):
+        assert fs(4, 5).bit_xor(FourState.unknown(4)).has_x
+
+    def test_not_involution(self):
+        v = fs(8, 0xA5)
+        assert v.bit_not().bit_not() == v
+
+    @given(known_fourstates(), known_fourstates())
+    def test_demorgan(self, a, b):
+        width = max(a.width, b.width)
+        a, b = a.resize(width), b.resize(width)
+        left = a.bit_and(b).bit_not()
+        right = a.bit_not().bit_or(b.bit_not())
+        assert left == right
+
+    @given(known_fourstates())
+    def test_xor_self_is_zero(self, a):
+        assert a.bit_xor(a).to_int() == 0
+
+
+class TestComparisons:
+    def test_eq_known(self):
+        assert fs(8, 5).eq(fs(8, 5)).is_true()
+        assert fs(8, 5).eq(fs(8, 6)).is_false()
+
+    def test_eq_with_x_undecidable(self):
+        assert fs(4, 0b1010, 0b0001).eq(fs(4, 0b1010)).has_x
+
+    def test_eq_with_x_but_known_mismatch(self):
+        # high bits already differ -> definitely not equal
+        assert fs(4, 0b0000, 0b0001).eq(fs(4, 0b1000)).is_false()
+
+    def test_case_eq_treats_x_literally(self):
+        a = fs(4, 0b1010, 0b0101)
+        assert a.case_eq(fs(4, 0b1010, 0b0101)).is_true()
+
+    def test_lt_le_gt_ge(self):
+        assert fs(8, 3).lt(fs(8, 4)).is_true()
+        assert fs(8, 4).le(fs(8, 4)).is_true()
+        assert fs(8, 5).gt(fs(8, 4)).is_true()
+        assert fs(8, 4).ge(fs(8, 5)).is_false()
+
+    @given(known_fourstates(), known_fourstates())
+    def test_eq_ne_complementary(self, a, b):
+        assert a.eq(b).is_true() != a.ne(b).is_true()
+
+
+class TestLogical:
+    def test_short_circuit_and_false(self):
+        assert fs(1, 0).log_and(FourState.unknown(1)).is_false()
+
+    def test_short_circuit_or_true(self):
+        assert fs(1, 1).log_or(FourState.unknown(1)).is_true()
+
+    def test_unknown_and_unknown(self):
+        assert FourState.unknown(1).log_and(FourState.unknown(1)).has_x
+
+    def test_log_not_three_valued(self):
+        assert fs(1, 1).log_not().is_false()
+        assert fs(1, 0).log_not().is_true()
+        assert FourState.unknown(1).log_not().has_x
+
+
+class TestReductions:
+    def test_reduce_and(self):
+        assert fs(4, 0b1111).reduce_and().is_true()
+        assert fs(4, 0b1110).reduce_and().is_false()
+
+    def test_reduce_and_x_with_zero_bit(self):
+        assert fs(4, 0b0110, 0b1000).reduce_and().is_false()
+
+    def test_reduce_or(self):
+        assert fs(4, 0b0010).reduce_or().is_true()
+        assert fs(4, 0).reduce_or().is_false()
+        assert FourState.unknown(4).reduce_or().has_x
+
+    def test_reduce_xor_parity(self):
+        assert fs(4, 0b0111).reduce_xor().is_true()
+        assert fs(4, 0b0110).reduce_xor().is_false()
+
+    def test_count_ones(self):
+        assert fs(8, 0b10110).count_ones().to_int() == 3
+
+
+class TestStructure:
+    def test_concat_widths_add(self):
+        joined = fs(4, 0b1010).concat(fs(4, 0b0101))
+        assert joined.width == 8
+        assert joined.to_int() == 0b10100101
+
+    def test_slice(self):
+        v = fs(8, 0b10110100)
+        assert v.slice(5, 2).to_int() == 0b1101
+
+    def test_bit(self):
+        v = fs(8, 0b00000100)
+        assert v.bit(2).is_true()
+        assert v.bit(3).is_false()
+
+    def test_bit_out_of_range_is_x(self):
+        assert fs(4, 0).bit(9).has_x
+
+    def test_replace_slice(self):
+        v = fs(8, 0)
+        out = v.replace_slice(5, 2, fs(4, 0b1111))
+        assert out.to_int() == 0b00111100
+
+    def test_repeat(self):
+        assert fs(2, 0b10).repeat(3).to_int() == 0b101010
+
+    @given(known_fourstates(max_width=8), known_fourstates(max_width=8))
+    def test_concat_slice_roundtrip(self, hi, lo):
+        joined = hi.concat(lo)
+        assert joined.slice(joined.width - 1, lo.width) == hi
+        assert joined.slice(lo.width - 1, 0) == lo
+
+    @given(fourstates(max_width=8))
+    def test_resize_identity(self, v):
+        assert v.resize(v.width) is v
+
+    @given(fourstates(max_width=8))
+    def test_to_verilog_parses_back(self, v):
+        text = v.to_verilog()
+        assert len(text) == v.width + 1  # 'b' + digits
+
+    @given(fourstates())
+    def test_hash_consistent_with_eq(self, v):
+        clone = FourState(v.width, v.value, v.xmask)
+        assert v == clone and hash(v) == hash(clone)
+
+
+class TestShifts:
+    def test_shl(self):
+        assert fs(8, 1).shl(fs(8, 3)).to_int() == 8
+
+    def test_shl_overflow_drops(self):
+        assert fs(4, 0b1000).shl(fs(4, 1)).to_int() == 0
+
+    def test_shr(self):
+        assert fs(8, 8).shr(fs(8, 3)).to_int() == 1
+
+    def test_ashr_sign_extends(self):
+        v = fs(4, 0b1000)
+        assert v.ashr(fs(4, 1)).to_int() == 0b1100
+
+    def test_shift_by_x(self):
+        assert fs(8, 1).shl(FourState.unknown(8)).all_x
