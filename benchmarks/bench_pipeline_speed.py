@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Pipeline throughput benchmark: pre-engine baseline vs engine settings.
+
+Times ``run_pipeline`` twice —
+
+- **serial**: the pre-engine execution model — ``n_workers=1``, compile
+  cache disabled, per-proposal SVA validation;
+- **parallel**: the engine's parallel settings — ``backend="auto"``
+  worker pool (clamped to the CPUs actually available), compile cache,
+  batched SVA validation.  On a single-core host this measures the
+  engine's redundancy elimination; on a multi-core host it additionally
+  measures real multi-process speedup.
+
+Both settings produce byte-identical datasets (``fingerprints_match``).
+
+— and writes ``BENCH_pipeline.json`` (wall seconds, designs/sec,
+compile-cache hit rate, speedup, fingerprint equality) so the perf
+trajectory is tracked across PRs.  Each setting is run ``--repeats``
+times from a cold cache and the best time kept.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pipeline_speed.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.datagen.pipeline import DatagenConfig, run_pipeline
+from repro.engine import available_cpus
+from repro.verilog.compile import default_compile_cache
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def time_setting(label: str, config: DatagenConfig, repeats: int) -> dict:
+    best_seconds = None
+    bundle = None
+    for _ in range(repeats):
+        default_compile_cache().clear()  # cold cache: no cross-run carryover
+        started = time.perf_counter()
+        bundle = run_pipeline(config)
+        elapsed = time.perf_counter() - started
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    cache = bundle.stats["compile_cache"]
+    engine = bundle.stats["engine"]
+    print(f"  {label:<10} {best_seconds:7.2f}s  "
+          f"{config.n_designs / best_seconds:6.1f} designs/s  "
+          f"cache hit rate {cache['hit_rate']:.1%}  "
+          f"backend={engine['backend']} x{engine['n_workers']}")
+    return {
+        "seconds": round(best_seconds, 3),
+        "designs_per_sec": round(config.n_designs / best_seconds, 3),
+        "compile_cache": cache,
+        "backend": engine["backend"],
+        "n_workers": engine["n_workers"],
+        "fingerprint": bundle.fingerprint(),
+    }
+
+
+def run_bench(n_designs: int = 120, n_workers: int = 4, seed: int = 2025,
+              repeats: int = 2, output: Path = None) -> dict:
+    common = dict(n_designs=n_designs, seed=seed)
+    print(f"bench_pipeline_speed: n_designs={n_designs}, "
+          f"cpus={available_cpus()}, repeats={repeats}")
+    serial = time_setting("serial", DatagenConfig(
+        n_workers=1, compile_cache=False,
+        sva_validation="per_proposal", **common), repeats)
+    parallel = time_setting("parallel", DatagenConfig(
+        n_workers=n_workers, backend="auto", **common), repeats)
+
+    report = {
+        "benchmark": "pipeline_speed",
+        "n_designs": n_designs,
+        "requested_workers": n_workers,
+        "cpu_count": available_cpus(),
+        "repeats": repeats,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(serial["seconds"] / parallel["seconds"], 3),
+        "fingerprints_match":
+            serial["fingerprint"] == parallel["fingerprint"],
+        "unix_time": int(time.time()),
+    }
+    output = output or REPO_ROOT / "BENCH_pipeline.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  speedup {report['speedup']}x, fingerprints match: "
+          f"{report['fingerprints_match']} -> {output}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", type=int, default=120)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args()
+    run_bench(n_designs=args.designs, n_workers=args.workers,
+              seed=args.seed, repeats=args.repeats, output=args.output)
+
+
+if __name__ == "__main__":
+    main()

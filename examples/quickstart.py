@@ -70,10 +70,13 @@ def main():
     print()
 
     # --- 2. train AssertSolver from scratch (small scale) ---------------
+    # n_workers fans the datagen stage graph and the evaluation out over
+    # a process pool (backend="auto" clamps to the CPUs available); the
+    # produced datasets are byte-identical to a serial run.
     print("training AssertSolver (PT -> SFT -> DPO) at small scale ...")
     pipeline = AssertSolverPipeline(PipelineConfig(
         n_designs=70, bugs_per_design=4, seed=11, include_human=False,
-        include_baselines=False))
+        include_baselines=False, n_workers=4))
     solver = pipeline.train()
     print(f"  SFT train accuracy: "
           f"{solver.sft_stats.final_train_accuracy:.1%}; "

@@ -16,11 +16,13 @@ the benchmark suite share one trained pipeline across benches.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.baselines.engine import BaselineModel
 from repro.baselines.profiles import BASELINE_PROFILES
 from repro.datagen.pipeline import DatagenConfig, DatasetBundle, run_pipeline
+from repro.engine import ExecutionEngine
 from repro.eval.benchmark import SvaEvalBenchmark, build_benchmark
 from repro.eval.histogram import render_histogram
 from repro.eval.reporting import (
@@ -35,26 +37,41 @@ from repro.eval.runner import EvalResult, evaluate_model
 from repro.model.assertsolver import AssertSolver
 
 
+@dataclass
 class PipelineConfig:
-    """Scale knobs for a full reproduction run."""
+    """Scale and execution knobs for a full reproduction run.
 
-    def __init__(self, n_designs: int = 80, bugs_per_design: int = 4,
-                 seed: int = 2025, n_samples: int = 20,
-                 include_human: bool = True,
-                 include_baselines: bool = True):
-        self.n_designs = n_designs
-        self.bugs_per_design = bugs_per_design
-        self.seed = seed
-        self.n_samples = n_samples
-        self.include_human = include_human
-        self.include_baselines = include_baselines
+    ``n_workers``/``backend`` parallelize both the datagen stage graph
+    and model evaluation; they never change results (all randomness is
+    derived per work unit).
+    """
+
+    n_designs: int = 80
+    bugs_per_design: int = 4
+    seed: int = 2025
+    n_samples: int = 20
+    include_human: bool = True
+    include_baselines: bool = True
+    n_workers: int = 1
+    backend: str = "auto"
+    compile_cache: bool = True
 
     def datagen(self) -> DatagenConfig:
         return DatagenConfig(n_designs=self.n_designs,
                              bugs_per_design=self.bugs_per_design,
-                             seed=self.seed)
+                             seed=self.seed,
+                             n_workers=self.n_workers,
+                             backend=self.backend,
+                             compile_cache=self.compile_cache)
+
+    def make_engine(self) -> ExecutionEngine:
+        return ExecutionEngine(n_workers=self.n_workers,
+                               backend=self.backend)
 
     def cache_key(self) -> tuple:
+        # Semantic fields only: the execution knobs (n_workers, backend,
+        # compile_cache) never change results, so they must not fork the
+        # shared-pipeline cache into redundant multi-minute train runs.
         return (self.n_designs, self.bugs_per_design, self.seed,
                 self.n_samples, self.include_human, self.include_baselines)
 
@@ -119,11 +136,13 @@ class AssertSolverPipeline:
         if self.results:
             return self.results
         benchmark = self.build_benchmark()
-        for model in self.models():
-            result = evaluate_model(model, benchmark.cases,
-                                    n=self.config.n_samples,
-                                    seed=self.config.seed + 1)
-            self.results[result.model_name] = result
+        with self.config.make_engine() as engine:
+            for model in self.models():
+                result = evaluate_model(model, benchmark.cases,
+                                        n=self.config.n_samples,
+                                        seed=self.config.seed + 1,
+                                        engine=engine)
+                self.results[result.model_name] = result
         return self.results
 
     # -- reporting -------------------------------------------------------------

@@ -5,12 +5,23 @@ a configurable scale, returning a :class:`DatasetBundle` with the three
 training datasets, the machine half of the SVA-Eval benchmark, and the
 bookkeeping statistics the paper reports (dataset sizes, CoT validity,
 SVA/bug rejection counts).
+
+The pipeline itself is a thin :class:`repro.engine.StageGraph`
+declaration; the per-design work inside each stage fans out across an
+:class:`repro.engine.ExecutionEngine` worker pool (``n_workers`` /
+``backend`` knobs).  All randomness derives per
+``(seed, module_name, stage_name)``, so ``n_workers=4`` produces a bundle
+byte-identical to ``n_workers=1`` — assert with
+:meth:`DatasetBundle.fingerprint`, which excludes only the volatile
+engine/compile-cache stat keys.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from repro.corpus.generator import CorpusGenerator
 from repro.datagen.records import (
@@ -22,48 +33,95 @@ from repro.datagen.records import (
 )
 from repro.datagen.split import assert_disjoint, split_by_module_name
 from repro.datagen.stage1 import run_stage1
-from repro.datagen.stage2 import run_stage2
+from repro.datagen.stage2 import SVA_VALIDATION_MODES, run_stage2
 from repro.datagen.stage3 import run_stage3
+from repro.engine import BACKENDS, ExecutionEngine, StageGraph, derive_rng
 from repro.sva.bmc import BmcConfig
+from repro.verilog.compile import (
+    configure_compile_cache,
+    default_compile_cache,
+)
+
+#: ``DatasetBundle.stats`` keys that legitimately differ between backends
+#: (wall times, worker counts, cache hit attribution).
+VOLATILE_STAT_KEYS = ("engine", "compile_cache")
 
 
+@dataclass
 class DatagenConfig:
-    """Scale and rate knobs.
+    """Scale, rate and execution knobs.
 
     The paper runs on 108,971 corpus samples; ``n_designs`` scales the
     whole pipeline down while preserving every stage's behaviour (the
     bundle's ``stats`` record both our counts and the paper's).
+    ``n_workers``/``backend`` control the engine's worker pool and
+    ``compile_cache``/``compile_cache_size`` the content-hash compile
+    memoization; none of them changes the produced datasets.
     """
 
-    def __init__(self, n_designs: int = 60, bugs_per_design: int = 4,
-                 seed: int = 2025, break_rate: float = 0.25,
-                 hallucination_rate: float = 0.15,
-                 train_fraction: float = 0.9,
-                 bmc_depth: int = 10, bmc_random_trials: int = 24):
-        self.n_designs = n_designs
-        self.bugs_per_design = bugs_per_design
-        self.seed = seed
-        self.break_rate = break_rate
-        self.hallucination_rate = hallucination_rate
-        self.train_fraction = train_fraction
-        self.bmc_depth = bmc_depth
-        self.bmc_random_trials = bmc_random_trials
+    n_designs: int = 60
+    bugs_per_design: int = 4
+    seed: int = 2025
+    break_rate: float = 0.25
+    hallucination_rate: float = 0.15
+    train_fraction: float = 0.9
+    bmc_depth: int = 10
+    bmc_random_trials: int = 24
+    n_workers: int = 1
+    backend: str = "auto"
+    compile_cache: bool = True
+    compile_cache_size: int = 4096
+    sva_validation: str = "batched"
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` naming the first offending field."""
+        for name, minimum in (("n_designs", 1), ("bugs_per_design", 1),
+                              ("bmc_depth", 1), ("bmc_random_trials", 0),
+                              ("n_workers", 1), ("compile_cache_size", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ValueError(
+                    f"{name} must be an integer >= {minimum}, got {value!r}")
+        for name in ("break_rate", "hallucination_rate", "train_fraction"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be a number in [0, 1], got {value!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.sva_validation not in SVA_VALIDATION_MODES:
+            raise ValueError(
+                f"sva_validation must be one of {SVA_VALIDATION_MODES}, "
+                f"got {self.sva_validation!r}")
 
     def bmc(self) -> BmcConfig:
         return BmcConfig(depth=self.bmc_depth,
                          random_trials=self.bmc_random_trials,
                          seed=self.seed)
 
+    def make_engine(self) -> ExecutionEngine:
+        """An engine whose workers inherit this config's cache knobs."""
+        return ExecutionEngine(
+            n_workers=self.n_workers, backend=self.backend,
+            initializer=configure_compile_cache,
+            initargs=(self.compile_cache, self.compile_cache_size))
 
+
+@dataclass
 class DatasetBundle:
     """Everything the training and evaluation phases consume."""
 
-    def __init__(self):
-        self.verilog_pt: List[VerilogPTEntry] = []
-        self.verilog_bug: List[VerilogBugEntry] = []
-        self.sva_bug_train: List[SvaBugEntry] = []
-        self.sva_eval_machine: List[SvaEvalCase] = []
-        self.stats: Dict[str, object] = {}
+    verilog_pt: List[VerilogPTEntry] = field(default_factory=list)
+    verilog_bug: List[VerilogBugEntry] = field(default_factory=list)
+    sva_bug_train: List[SvaBugEntry] = field(default_factory=list)
+    sva_eval_machine: List[SvaEvalCase] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
         lines = ["DatasetBundle:"]
@@ -80,37 +138,117 @@ class DatasetBundle:
             lines.append(f"  CoT validity:         {rate:.2%} (paper: 74.55%)")
         return "\n".join(lines)
 
+    # -- determinism ---------------------------------------------------------
+
+    def comparable(self) -> Dict[str, object]:
+        """A plain-data projection of every entry and every non-volatile
+        stat, suitable for cross-run equality checks."""
+
+        def record_data(record) -> Tuple:
+            return (record.design_name, record.buggy_source,
+                    record.golden_source, record.line, record.buggy_line,
+                    record.fixed_line, record.op_name, record.kind.value,
+                    record.conditionality.value, record.description)
+
+        def sva_entry_data(entry: SvaBugEntry) -> Tuple:
+            return (record_data(entry.record), entry.spec,
+                    entry.buggy_source_with_sva, entry.logs,
+                    list(entry.failing_labels), entry.relation.value,
+                    list(entry.assertion_signals), entry.cot)
+
+        return {
+            "verilog_pt": [(e.source, e.spec, e.analysis, e.compiles,
+                            e.break_kind) for e in self.verilog_pt],
+            "verilog_bug": [(record_data(e.record), e.spec)
+                            for e in self.verilog_bug],
+            "sva_bug_train": [sva_entry_data(e) for e in self.sva_bug_train],
+            "sva_eval_machine": [(c.case_id, c.origin, sva_entry_data(c.entry))
+                                 for c in self.sva_eval_machine],
+            "stats": {key: value for key, value in self.stats.items()
+                      if key not in VOLATILE_STAT_KEYS},
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over :meth:`comparable` — equal fingerprints mean
+        byte-identical datasets (modulo volatile engine/cache stats)."""
+        payload = json.dumps(self.comparable(), sort_keys=True,
+                             default=str).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+
+def build_stage_graph(config: DatagenConfig) -> StageGraph:
+    """Declare the Section-II pipeline as a stage DAG.
+
+    Per-design fan-out happens inside the stage bodies via
+    ``inputs.engine``; the graph stays a readable five-node declaration::
+
+        corpus -> stage1 -> stage2 -> split -> stage3
+    """
+    graph = StageGraph("datagen")
+
+    graph.add_stage("corpus", lambda inputs: CorpusGenerator(
+        seed=config.seed).generate(config.n_designs))
+
+    graph.add_stage("stage1", lambda inputs: run_stage1(
+        inputs["corpus"], break_rate=config.break_rate,
+        global_seed=config.seed, engine=inputs.engine),
+        deps=("corpus",))
+
+    graph.add_stage("stage2", lambda inputs: run_stage2(
+        inputs["stage1"].compiled, seed=config.seed,
+        bugs_per_design=config.bugs_per_design,
+        hallucination_rate=config.hallucination_rate,
+        bmc=config.bmc(), engine=inputs.engine,
+        sva_validation=config.sva_validation),
+        deps=("stage1",))
+
+    def split_stage(inputs):
+        train, test = split_by_module_name(
+            inputs["stage2"].sva_bug_entries,
+            derive_rng(config.seed, "split"),
+            train_fraction=config.train_fraction)
+        assert_disjoint(train, test)
+        return train, test
+
+    graph.add_stage("split", split_stage, deps=("stage2",))
+
+    graph.add_stage("stage3", lambda inputs: run_stage3(
+        inputs["split"][0], seed=config.seed, engine=inputs.engine),
+        deps=("split",))
+
+    return graph
+
 
 def run_pipeline(config: DatagenConfig) -> DatasetBundle:
     """Run the full Section-II pipeline at the configured scale."""
+    config.validate()
+    previous_cache = configure_compile_cache(
+        enabled=config.compile_cache, max_entries=config.compile_cache_size)
+    cache_before = default_compile_cache().counters()
+    try:
+        with config.make_engine() as engine:
+            outputs = build_stage_graph(config).run(engine)
+            bundle = _assemble(config, outputs)
+            _attach_execution_stats(bundle, engine, cache_before)
+    finally:
+        configure_compile_cache(*previous_cache)
+    return bundle
+
+
+def _assemble(config: DatagenConfig, outputs: Dict[str, object]
+              ) -> DatasetBundle:
+    stage1, stage2 = outputs["stage1"], outputs["stage2"]
+    stage3 = outputs["stage3"]
+    _, test = outputs["split"]
+
     bundle = DatasetBundle()
-
-    generator = CorpusGenerator(seed=config.seed)
-    seeds = generator.generate(config.n_designs)
-
-    stage1 = run_stage1(seeds, random.Random(config.seed + 10),
-                        break_rate=config.break_rate)
     bundle.verilog_pt = stage1.pt_entries
-
-    stage2 = run_stage2(stage1.compiled, seed=config.seed + 20,
-                        bugs_per_design=config.bugs_per_design,
-                        hallucination_rate=config.hallucination_rate,
-                        bmc=config.bmc())
     bundle.verilog_bug = stage2.verilog_bug_entries
-
-    train, test = split_by_module_name(
-        stage2.sva_bug_entries, random.Random(config.seed + 30),
-        train_fraction=config.train_fraction)
-    assert_disjoint(train, test)
-
-    stage3 = run_stage3(train, seed=config.seed + 40)
     bundle.sva_bug_train = stage3.entries
-
     bundle.sva_eval_machine = [
         SvaEvalCase(f"machine_{i:04d}", entry, origin="machine")
         for i, entry in enumerate(test)
     ]
-
     bundle.stats = {
         "n_designs": config.n_designs,
         "stage1_filtered": stage1.filtered_count,
@@ -128,3 +266,21 @@ def run_pipeline(config: DatagenConfig) -> DatasetBundle:
             [case.entry for case in bundle.sva_eval_machine]),
     }
     return bundle
+
+
+def _attach_execution_stats(bundle: DatasetBundle, engine: ExecutionEngine,
+                            cache_before: Dict[str, int]) -> None:
+    """Add the volatile ``engine`` / ``compile_cache`` stat keys."""
+    cache_after = default_compile_cache().counters()
+    totals = {key: cache_after.get(key, 0) - cache_before.get(key, 0)
+              for key in cache_after}
+    if engine.backend == "process":
+        # Worker-side counters never reach this process's cache; the
+        # engine aggregated their per-unit deltas instead.
+        for key, value in engine.metric_totals().get(
+                "compile_cache", {}).items():
+            totals[key] = totals.get(key, 0) + value
+    lookups = totals.get("hits", 0) + totals.get("misses", 0)
+    totals["hit_rate"] = (totals.get("hits", 0) / lookups) if lookups else 0.0
+    bundle.stats["compile_cache"] = totals
+    bundle.stats["engine"] = engine.stats()

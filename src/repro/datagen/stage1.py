@@ -9,19 +9,31 @@ Offline we reconstruct the same flow: the raw stream mixes golden template
 instances with junk samples (so the filters do real work) and
 syntax-broken variants (so the compiler check and failure analyses do real
 work).
+
+Execution is decomposed for the stage-graph engine: a cheap serial
+pre-pass (:func:`prepare_stage1`) mixes junk, shuffles, filters and
+deduplicates (dedup needs corpus-wide state), then the expensive
+per-design work (compile, spec, break-sibling) runs as independent
+:func:`stage1_unit` tasks whose RNG streams derive from
+``(global_seed, module_name, "stage1")`` — so a parallel run is
+byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.corpus.generator import CorpusGenerator
 from repro.corpus.meta import DesignSeed
 from repro.corpus.syntax_breaker import break_syntax
 from repro.datagen.records import VerilogPTEntry
+from repro.engine import ExecutionEngine, StageContext, derive_rng
 from repro.oracles.spec import analyze_compile_failure, write_spec
 from repro.verilog.compile import compile_source
+
+STAGE_NAME = "stage1"
 
 # Junk families the paper's filters remove before the compiler even runs.
 _JUNK_SAMPLES = [
@@ -57,77 +69,161 @@ def is_filtered_out(source: str) -> Optional[str]:
     return None
 
 
+@dataclass
 class Stage1Result:
     """Outputs of Stage 1."""
 
-    def __init__(self):
-        self.compiled: List[DesignSeed] = []
-        self.pt_entries: List[VerilogPTEntry] = []
-        self.filtered_count = 0
-        self.duplicate_count = 0
-        self.failed_compile_count = 0
+    compiled: List[DesignSeed] = field(default_factory=list)
+    pt_entries: List[VerilogPTEntry] = field(default_factory=list)
+    filtered_count: int = 0
+    duplicate_count: int = 0
+    failed_compile_count: int = 0
 
 
-def run_stage1(seeds: List[DesignSeed], rng: random.Random,
-               break_rate: float = 0.25,
-               junk_rate: float = 0.1) -> Stage1Result:
-    """Run the filter -> syntax-check -> spec/analysis flow.
+@dataclass
+class Stage1Task:
+    """One per-design work unit (picklable for the process backend)."""
 
-    ``break_rate`` of the golden seeds get a syntax-broken sibling (feeding
-    the failure-analysis path); ``junk_rate`` controls how much junk is
-    mixed in for the filters to remove.
+    seed: DesignSeed
+    ctx: StageContext
+    break_rate: float
+
+
+@dataclass
+class Stage1UnitResult:
+    """Per-design output, merged in stream order by :func:`merge_stage1`."""
+
+    seed: DesignSeed
+    pt_entries: List[VerilogPTEntry]
+    compiled: bool
+    failed_compile_count: int
+
+
+def prepare_stage1(seeds: List[DesignSeed], stream_rng: random.Random,
+                   junk_rate: float = 0.1
+                   ) -> Tuple[List[DesignSeed], int, int]:
+    """Serial pre-pass: junk mixing, shuffle, filters, dedup.
+
+    Returns ``(survivors, filtered_count, duplicate_count)``; survivors
+    keep the shuffled stream order, which the merge step preserves.
     """
-    result = Stage1Result()
-    seen_sources = set()
-
-    # Mix junk into the stream so the filters are exercised.
     junk_budget = int(len(seeds) * junk_rate) + 1
     raw_stream: List[Tuple[Optional[DesignSeed], str]] = \
         [(seed, seed.source) for seed in seeds]
     for i in range(junk_budget):
         raw_stream.append((None, _JUNK_SAMPLES[i % len(_JUNK_SAMPLES)]))
-    rng.shuffle(raw_stream)
+    stream_rng.shuffle(raw_stream)
 
+    survivors: List[DesignSeed] = []
+    filtered = 0
+    duplicates = 0
+    seen_sources = set()
     for seed, source in raw_stream:
-        reason = is_filtered_out(source)
-        if reason is not None:
-            result.filtered_count += 1
+        if is_filtered_out(source) is not None:
+            filtered += 1
             continue
         if source in seen_sources:
-            result.duplicate_count += 1
+            duplicates += 1
             continue
         seen_sources.add(source)
-
-        compile_result = compile_source(source)
-        meta = seed.meta if seed is not None else None
-        if not compile_result.ok:
-            result.failed_compile_count += 1
-            spec = write_spec(source, meta)
-            analysis = analyze_compile_failure(source)
-            result.pt_entries.append(VerilogPTEntry(
-                source, spec, analysis, compiles=False))
-            continue
-
         if seed is not None:
-            result.compiled.append(seed)
-            # Clean code + spec also contributes structural insight to PT.
-            result.pt_entries.append(VerilogPTEntry(
-                source, write_spec(source, meta), compiles=True))
-            # A fraction of samples get a syntax-broken sibling, standing in
-            # for the paper's naturally-occurring non-compiling corpus code.
-            if rng.random() < break_rate:
-                broken = break_syntax(source, rng)
-                if broken is not None:
-                    kind, broken_source = broken
-                    check = compile_source(broken_source)
-                    if not check.ok:
-                        result.failed_compile_count += 1
-                        result.pt_entries.append(VerilogPTEntry(
-                            broken_source,
-                            write_spec(broken_source, meta),
-                            analyze_compile_failure(broken_source),
-                            compiles=False, break_kind=kind))
+            survivors.append(seed)
+        else:  # pragma: no cover - junk never passes the filters
+            filtered += 1
+    return survivors, filtered, duplicates
+
+
+def unit_ids(seeds: List[DesignSeed]) -> List[str]:
+    """Stable per-design unit ids: the module name, disambiguated when two
+    distinct designs drew the same (random-uid) name — otherwise they
+    would replay identical derived RNG streams."""
+    counts: dict = {}
+    ids: List[str] = []
+    for seed in seeds:
+        occurrence = counts.get(seed.name, 0)
+        counts[seed.name] = occurrence + 1
+        ids.append(seed.name if occurrence == 0
+                   else f"{seed.name}#{occurrence}")
+    return ids
+
+
+def stage1_unit(task: Stage1Task) -> Stage1UnitResult:
+    """Pure per-design Stage-1 work: compile + spec (+ broken sibling)."""
+    seed = task.seed
+    entries: List[VerilogPTEntry] = []
+    failed = 0
+
+    compile_result = compile_source(seed.source)
+    if not compile_result.ok:
+        entries.append(VerilogPTEntry(
+            seed.source, write_spec(seed.source, seed.meta),
+            analyze_compile_failure(seed.source), compiles=False))
+        return Stage1UnitResult(seed, entries, compiled=False,
+                                failed_compile_count=1)
+
+    # Clean code + spec also contributes structural insight to PT.
+    entries.append(VerilogPTEntry(
+        seed.source, write_spec(seed.source, seed.meta), compiles=True))
+
+    # A fraction of samples get a syntax-broken sibling, standing in for
+    # the paper's naturally-occurring non-compiling corpus code.
+    break_rng = task.ctx.rng("break")
+    if break_rng.random() < task.break_rate:
+        broken = break_syntax(seed.source, break_rng)
+        if broken is not None:
+            kind, broken_source = broken
+            check = compile_source(broken_source)
+            if not check.ok:
+                failed += 1
+                entries.append(VerilogPTEntry(
+                    broken_source,
+                    write_spec(broken_source, seed.meta),
+                    analyze_compile_failure(broken_source),
+                    compiles=False, break_kind=kind))
+    return Stage1UnitResult(seed, entries, compiled=True,
+                            failed_compile_count=failed)
+
+
+def merge_stage1(unit_results: List[Stage1UnitResult], filtered_count: int,
+                 duplicate_count: int) -> Stage1Result:
+    """Deterministic order-preserving merge of per-design results."""
+    result = Stage1Result(filtered_count=filtered_count,
+                          duplicate_count=duplicate_count)
+    for unit in unit_results:
+        if unit.compiled:
+            result.compiled.append(unit.seed)
+        result.pt_entries.extend(unit.pt_entries)
+        result.failed_compile_count += unit.failed_compile_count
     return result
+
+
+def run_stage1(seeds: List[DesignSeed], rng: Optional[random.Random] = None,
+               break_rate: float = 0.25, junk_rate: float = 0.1,
+               global_seed: Optional[int] = None,
+               engine: Optional[ExecutionEngine] = None) -> Stage1Result:
+    """Run the filter -> syntax-check -> spec/analysis flow.
+
+    ``break_rate`` of the golden seeds get a syntax-broken sibling (feeding
+    the failure-analysis path); ``junk_rate`` controls how much junk is
+    mixed in for the filters to remove.  Pass ``global_seed`` (pipeline
+    path) or a legacy ``rng`` from which a global seed is drawn; per-design
+    streams are derived, never shared, so any ``engine`` backend yields
+    identical output.
+    """
+    if global_seed is None:
+        global_seed = (rng or random.Random(0)).randrange(2 ** 32)
+    stream_rng = derive_rng(global_seed, STAGE_NAME, "stream")
+    survivors, filtered, duplicates = prepare_stage1(
+        seeds, stream_rng, junk_rate=junk_rate)
+    tasks = [Stage1Task(seed=seed,
+                        ctx=StageContext(global_seed, STAGE_NAME, unit_id),
+                        break_rate=break_rate)
+             for seed, unit_id in zip(survivors, unit_ids(survivors))]
+    if engine is None:
+        unit_results = [stage1_unit(task) for task in tasks]
+    else:
+        unit_results = engine.map(stage1_unit, tasks, stage=STAGE_NAME)
+    return merge_stage1(unit_results, filtered, duplicates)
 
 
 def generate_stage1(count: int, seed: int = 0,
@@ -135,4 +231,4 @@ def generate_stage1(count: int, seed: int = 0,
     """Convenience wrapper: generate ``count`` designs and run Stage 1."""
     generator = CorpusGenerator(seed=seed)
     seeds = generator.generate(count)
-    return run_stage1(seeds, random.Random(seed + 1), break_rate=break_rate)
+    return run_stage1(seeds, global_seed=seed + 1, break_rate=break_rate)

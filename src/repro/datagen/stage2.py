@@ -12,39 +12,80 @@ For every compiled design:
    assertion fires, the case becomes an SVA-Bug candidate (with its logs
    and Direct/Indirect classification); otherwise it becomes a Verilog-Bug
    entry — a real functional bug the available assertions failed to cover.
+
+Each design is an independent :func:`stage2_unit` task: the SVA oracle and
+bug injector get fresh RNG streams derived from
+``(global_seed, module_name, "stage2")``, so designs can be processed on
+any worker in any order and still merge into the exact serial result.
+This stage dominates pipeline wall time (it owns the bounded checker), so
+it benefits most from the worker pool.
 """
 
 from __future__ import annotations
 
-import random
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.bugs.classify import classify_relation
 from repro.bugs.injector import BugInjector
 from repro.corpus.meta import DesignSeed
 from repro.datagen.records import SvaBugEntry, VerilogBugEntry
+from repro.datagen.stage1 import unit_ids
+from repro.engine import ExecutionEngine, StageContext
 from repro.oracles.spec import write_spec
 from repro.oracles.sva import SvaOracle, SvaProposal
-from repro.sva.bmc import BmcConfig, bounded_check
+from repro.sva.bmc import BmcConfig, bounded_check, bounded_check_batch
 from repro.sva.insert import compile_with_sva
 from repro.verilog.compile import compile_source
 from repro.verilog.parser import parse_module
 from repro.verilog.writer import write_module
 
+STAGE_NAME = "stage2"
 
+#: SVA validation modes: ``per_proposal`` is the paper-faithful reference
+#: (one full bounded check of the golden design per proposal);
+#: ``batched`` produces identical verdicts from a single shared bounded
+#: check (see :func:`repro.sva.bmc.bounded_check_batch`), cutting the
+#: dominant golden-design simulation cost by ~the proposal count.
+SVA_VALIDATION_MODES = ("batched", "per_proposal")
+
+
+@dataclass
 class Stage2Result:
-    def __init__(self):
-        self.sva_bug_entries: List[SvaBugEntry] = []
-        self.verilog_bug_entries: List[VerilogBugEntry] = []
-        self.rejected_svas = 0
-        self.accepted_svas = 0
-        self.rejected_bugs_syntax = 0
-        self.sim_error_count = 0
+    sva_bug_entries: List[SvaBugEntry] = field(default_factory=list)
+    verilog_bug_entries: List[VerilogBugEntry] = field(default_factory=list)
+    rejected_svas: int = 0
+    accepted_svas: int = 0
+    rejected_bugs_syntax: int = 0
+    sim_error_count: int = 0
+
+    def merge_from(self, other: "Stage2Result") -> None:
+        """Accumulate another (per-design) result into this one."""
+        self.sva_bug_entries.extend(other.sva_bug_entries)
+        self.verilog_bug_entries.extend(other.verilog_bug_entries)
+        self.rejected_svas += other.rejected_svas
+        self.accepted_svas += other.accepted_svas
+        self.rejected_bugs_syntax += other.rejected_bugs_syntax
+        self.sim_error_count += other.sim_error_count
 
 
-def validate_svas(seed: DesignSeed, proposals: List[SvaProposal],
-                  bmc: BmcConfig) -> "tuple[List[SvaProposal], int]":
-    """Keep proposals that compile into and hold on the golden design."""
+@dataclass
+class Stage2Task:
+    """One per-design work unit (picklable for the process backend)."""
+
+    seed: DesignSeed
+    ctx: StageContext
+    bugs_per_design: int
+    hallucination_rate: float
+    bmc: BmcConfig
+    sva_validation: str = "batched"
+
+
+def _validate_svas_per_proposal(seed: DesignSeed,
+                                proposals: List[SvaProposal],
+                                bmc: BmcConfig
+                                ) -> "tuple[List[SvaProposal], int]":
+    """Reference validation: one full bounded check per proposal."""
     valid: List[SvaProposal] = []
     rejected = 0
     for proposal in proposals:
@@ -60,16 +101,81 @@ def validate_svas(seed: DesignSeed, proposals: List[SvaProposal],
     return valid, rejected
 
 
+def _assertion_label(proposal: SvaProposal) -> str:
+    # SvaHint.assertion_source labels the assertion "<name>_assertion".
+    return f"{proposal.name}_assertion"
+
+
+def validate_svas(seed: DesignSeed, proposals: List[SvaProposal],
+                  bmc: BmcConfig, mode: str = "batched"
+                  ) -> "tuple[List[SvaProposal], int]":
+    """Keep proposals that compile into and hold on the golden design.
+
+    ``batched`` filters non-compiling proposals individually (cheap), then
+    scores all survivors with one shared bounded check — verdicts are
+    identical to ``per_proposal`` (asserted by the test suite) at a
+    fraction of the simulation cost.  Falls back to the reference path
+    whenever per-label attribution would be ambiguous.
+    """
+    if mode not in SVA_VALIDATION_MODES:
+        raise ValueError(f"sva_validation must be one of "
+                         f"{SVA_VALIDATION_MODES}, got {mode!r}")
+    if mode == "per_proposal" or len(proposals) <= 1:
+        return _validate_svas_per_proposal(seed, proposals, bmc)
+
+    golden = compile_source(seed.source)
+    if not golden.ok or (golden.design is not None
+                         and golden.design.assertions):
+        # Pre-existing assertions would mix with proposal labels.
+        return _validate_svas_per_proposal(seed, proposals, bmc)
+
+    compiling: List[SvaProposal] = []
+    rejected = 0
+    for proposal in proposals:
+        if compile_with_sva(seed.source, proposal.blocks()).ok:
+            compiling.append(proposal)
+        else:
+            rejected += 1
+    if not compiling:
+        return [], rejected
+    blocks: List[str] = []
+    for proposal in compiling:
+        blocks.extend(proposal.blocks())
+    combined = compile_with_sva(seed.source, blocks)
+    if not combined.ok:
+        # Individually-valid proposals that clash when combined: ambiguous
+        # attribution, use the reference path.
+        valid, more_rejected = _validate_svas_per_proposal(
+            seed, compiling, bmc)
+        return valid, rejected + more_rejected
+    combined_labels = {a.label for a in combined.design.assertions}
+    if any(_assertion_label(p) not in combined_labels for p in compiling):
+        # Label drift would silently accept failing proposals; don't risk it.
+        valid, more_rejected = _validate_svas_per_proposal(
+            seed, compiling, bmc)
+        return valid, rejected + more_rejected
+    batch = bounded_check_batch(combined.design, bmc)
+    valid = [proposal for proposal in compiling
+             if not batch.rejects(_assertion_label(proposal))]
+    return valid, rejected + (len(compiling) - len(valid))
+
+
 def process_design(seed: DesignSeed, sva_oracle: SvaOracle,
                    injector: BugInjector, bugs_per_design: int,
                    bmc: BmcConfig,
-                   result: Optional[Stage2Result] = None) -> Stage2Result:
-    """Run Stage 2 for one design."""
+                   result: Optional[Stage2Result] = None,
+                   sva_validation: str = "batched") -> Stage2Result:
+    """Run Stage 2 for one design.
+
+    Input contract: ``seed.source`` compiles (Stage 1 only forwards
+    compiling designs through ``Stage1Result.compiled``).
+    """
     result = result or Stage2Result()
     spec = write_spec(seed.source, seed.meta)
 
     proposals = sva_oracle.propose(seed)
-    valid_svas, rejected = validate_svas(seed, proposals, bmc)
+    valid_svas, rejected = validate_svas(seed, proposals, bmc,
+                                         mode=sva_validation)
     result.rejected_svas += rejected
     result.accepted_svas += len(valid_svas)
     if not valid_svas:
@@ -116,6 +222,16 @@ def process_design(seed: DesignSeed, sva_oracle: SvaOracle,
     return result
 
 
+def stage2_unit(task: Stage2Task) -> Stage2Result:
+    """Pure per-design Stage-2 work with unit-derived oracle/injector RNGs."""
+    sva_oracle = SvaOracle(task.ctx.rng("sva"),
+                           hallucination_rate=task.hallucination_rate)
+    injector = BugInjector(task.ctx.rng("bugs"))
+    return process_design(task.seed, sva_oracle, injector,
+                          task.bugs_per_design, task.bmc,
+                          sva_validation=task.sva_validation)
+
+
 def _failing_assertion_signals(source_with_sva: str,
                                labels: List[str]) -> List[str]:
     """Union of identifiers in the failing assertions' property bodies."""
@@ -132,15 +248,27 @@ def _failing_assertion_signals(source_with_sva: str,
 def run_stage2(seeds: List[DesignSeed], seed: int = 0,
                bugs_per_design: int = 4,
                hallucination_rate: float = 0.15,
-               bmc: Optional[BmcConfig] = None) -> Stage2Result:
-    """Run Stage 2 over a list of compiled designs."""
-    rng = random.Random(seed)
-    sva_oracle = SvaOracle(random.Random(seed + 1),
-                           hallucination_rate=hallucination_rate)
-    injector = BugInjector(random.Random(seed + 2))
+               bmc: Optional[BmcConfig] = None,
+               engine: Optional[ExecutionEngine] = None,
+               sva_validation: str = "batched") -> Stage2Result:
+    """Run Stage 2 over a list of compiled designs.
+
+    ``seed`` is the stage's global seed; each design's streams derive from
+    it plus the module name, so output is identical across backends.
+    """
     bmc = bmc or BmcConfig(depth=10, random_trials=24)
+    tasks = [Stage2Task(seed=design,
+                        ctx=StageContext(seed, STAGE_NAME, unit_id),
+                        bugs_per_design=bugs_per_design,
+                        hallucination_rate=hallucination_rate,
+                        bmc=bmc,
+                        sva_validation=sva_validation)
+             for design, unit_id in zip(seeds, unit_ids(seeds))]
+    if engine is None:
+        unit_results = [stage2_unit(task) for task in tasks]
+    else:
+        unit_results = engine.map(stage2_unit, tasks, stage=STAGE_NAME)
     result = Stage2Result()
-    for design_seed in seeds:
-        process_design(design_seed, sva_oracle, injector, bugs_per_design,
-                       bmc, result)
+    for unit_result in unit_results:
+        result.merge_from(unit_result)
     return result

@@ -1,0 +1,166 @@
+"""The execution engine: ordered parallel map with pluggable backends.
+
+``ExecutionEngine.map`` applies a picklable task function to a list of
+work units and returns results **in input order**, whatever the backend:
+
+- ``serial``  — plain loop in the calling process (the reference
+  semantics; every other backend must be byte-identical to it);
+- ``thread``  — ``ThreadPoolExecutor`` (useful for I/O-bound units);
+- ``process`` — ``ProcessPoolExecutor`` (CPU-bound units; the pipeline's
+  default for real parallelism);
+- ``auto``    — ``process`` clamped to the CPUs actually available,
+  degrading to ``serial`` on a single-core host instead of paying pool
+  overhead for nothing.
+
+Because stage units draw only from RNG streams derived per unit (see
+:mod:`repro.engine.rng`), scheduling order cannot leak into results.
+Every unit call is wrapped with a metrics snapshot so process-local
+counters (compile-cache hits, …) surface in the parent; see
+:mod:`repro.engine.metrics`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import metrics
+
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _call_with_metrics(task: Tuple[Callable, object]):
+    """Top-level (hence picklable) unit wrapper: run + counter delta."""
+    fn, item = task
+    before = metrics.snapshot()
+    result = fn(item)
+    return result, metrics.delta(before, metrics.snapshot())
+
+
+class ExecutionEngine:
+    """Maps task functions over unit lists with a persistent worker pool."""
+
+    def __init__(self, n_workers: int = 1, backend: str = "auto",
+                 initializer: Optional[Callable] = None,
+                 initargs: tuple = ()):
+        """``initializer(*initargs)`` propagates process-global settings
+        (e.g. compile-cache knobs) into process-pool workers.  It runs
+        only in subprocesses: under the serial and thread backends work
+        executes in the calling process, whose state the caller already
+        controls — running it there would leak a global mutation past
+        the engine's lifetime."""
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.requested_backend = backend
+        self.requested_workers = n_workers
+        if backend == "auto":
+            n_workers = min(n_workers, available_cpus())
+            backend = "process" if n_workers > 1 else "serial"
+        if n_workers <= 1:
+            backend = "serial"
+        self.backend = backend
+        self.n_workers = n_workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool = None
+        self._closed = False
+        self._stage_stats: "Dict[str, Dict[str, float]]" = {}
+        self._metric_totals: Dict[str, Dict[str, int]] = {}
+        self._map_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if self.backend == "serial":
+            return None
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        return self.backend != "serial"
+
+    def map(self, fn: Callable, items: Sequence, stage: Optional[str] = None
+            ) -> List:
+        """Apply ``fn`` to every item, preserving input order.
+
+        ``fn`` must be a module-level function and items picklable when
+        the backend is ``process``.
+        """
+        items = list(items)
+        self._map_count += 1
+        stage = stage or f"map-{self._map_count}"
+        pool = self._ensure_pool()
+        started = time.perf_counter()
+        tasks = [(fn, item) for item in items]
+        if pool is None:
+            pairs = [_call_with_metrics(task) for task in tasks]
+        else:
+            chunksize = max(1, len(tasks) // (self.n_workers * 4))
+            pairs = list(pool.map(_call_with_metrics, tasks,
+                                  chunksize=chunksize))
+        results = []
+        for result, counter_delta in pairs:
+            metrics.accumulate(self._metric_totals, counter_delta)
+            results.append(result)
+        elapsed = time.perf_counter() - started
+        bucket = self._stage_stats.setdefault(
+            stage, {"units": 0, "seconds": 0.0})
+        bucket["units"] += len(items)
+        bucket["seconds"] += elapsed
+        return results
+
+    # -- reporting -----------------------------------------------------------
+
+    def metric_totals(self) -> Dict[str, Dict[str, int]]:
+        """Summed worker-side counter deltas across all maps so far."""
+        return {name: dict(counters)
+                for name, counters in self._metric_totals.items()}
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "requested_backend": self.requested_backend,
+            "requested_workers": self.requested_workers,
+            "cpu_count": available_cpus(),
+            "stages": {name: {"units": int(s["units"]),
+                              "seconds": round(s["seconds"], 6)}
+                       for name, s in self._stage_stats.items()},
+        }

@@ -1,0 +1,111 @@
+"""Declarative stage graphs executed over an :class:`ExecutionEngine`.
+
+A :class:`StageGraph` is a small DAG of named stages, each a function of
+its dependencies' outputs that may fan per-unit work out through
+``inputs.engine.map``.  ``run`` executes stages in dependency order and
+returns every stage's output, so a pipeline becomes a thin declaration:
+
+    graph = StageGraph("datagen")
+    graph.add_stage("corpus", make_corpus)
+    graph.add_stage("stage1", run_stage1_node, deps=("corpus",))
+    ...
+    outputs = graph.run(engine)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class StageInputs:
+    """Dependency outputs plus the engine, handed to a stage function."""
+
+    def __init__(self, engine, outputs: Dict[str, object],
+                 deps: Tuple[str, ...]):
+        self.engine = engine
+        self._outputs = outputs
+        self._deps = deps
+
+    def __getitem__(self, name: str):
+        if name not in self._deps:
+            raise KeyError(
+                f"stage output {name!r} is not a declared dependency "
+                f"(declared: {sorted(self._deps)})")
+        return self._outputs[name]
+
+
+class _Stage:
+    __slots__ = ("name", "deps", "run")
+
+    def __init__(self, name: str, deps: Tuple[str, ...], run: Callable):
+        self.name = name
+        self.deps = deps
+        self.run = run
+
+
+class StageGraph:
+    """A DAG of named stages with declaration-checked dependencies."""
+
+    def __init__(self, name: str = "pipeline"):
+        self.name = name
+        self._stages: Dict[str, _Stage] = {}
+        self._order: List[str] = []
+
+    # -- declaration ---------------------------------------------------------
+
+    def _declare(self, name: str, deps: Sequence[str]) -> Tuple[str, ...]:
+        if name in self._stages:
+            raise ValueError(f"duplicate stage name {name!r}")
+        unknown = [dep for dep in deps if dep not in self._stages]
+        if unknown:
+            raise ValueError(
+                f"stage {name!r} depends on undeclared stage(s) {unknown}; "
+                f"declare dependencies first")
+        return tuple(deps)
+
+    def add_stage(self, name: str, fn: Callable[[StageInputs], object],
+                  deps: Sequence[str] = ()) -> None:
+        """A serial stage: ``fn(inputs) -> output``."""
+        deps = self._declare(name, deps)
+        self._stages[name] = _Stage(name, deps, fn)
+        self._order.append(name)
+
+    # -- execution -----------------------------------------------------------
+
+    def stage_names(self) -> List[str]:
+        return list(self._order)
+
+    def describe(self) -> str:
+        """One line per stage: ``name <- dep, dep``."""
+        lines = []
+        for name in self._order:
+            deps = self._stages[name].deps
+            arrow = f" <- {', '.join(deps)}" if deps else ""
+            lines.append(f"{name}{arrow}")
+        return "\n".join(lines)
+
+    def run(self, engine, only: Optional[Sequence[str]] = None
+            ) -> Dict[str, object]:
+        """Execute all stages (declaration order is topological by
+        construction) and return every stage's output by name."""
+        wanted = set(self._order if only is None else only)
+        missing = wanted - set(self._order)
+        if missing:
+            raise ValueError(f"unknown stage(s): {sorted(missing)}")
+        # Pull in transitive dependencies of the requested stages.
+        needed = set()
+        frontier = list(wanted)
+        while frontier:
+            name = frontier.pop()
+            if name in needed:
+                continue
+            needed.add(name)
+            frontier.extend(self._stages[name].deps)
+        outputs: Dict[str, object] = {}
+        for name in self._order:
+            if name not in needed:
+                continue
+            stage = self._stages[name]
+            outputs[name] = stage.run(
+                StageInputs(engine, outputs, stage.deps))
+        return outputs

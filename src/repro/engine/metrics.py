@@ -1,0 +1,54 @@
+"""Counter providers sampled around engine work units.
+
+Subsystems with process-local monotonic counters (e.g. the compile cache)
+register a provider here at import time.  The engine snapshots all
+providers before and after each unit, ships the per-unit delta back from
+the worker with the unit's result, and accumulates the deltas in the
+parent process — the only way to surface worker-side counters when units
+run in a process pool.
+
+Deltas are exact under the serial and process backends (units run
+sequentially within a process).  Under the thread backend interleaved
+units can observe each other's increments, so aggregated totals are an
+upper bound there.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+Counters = Dict[str, int]
+
+_PROVIDERS: Dict[str, Callable[[], Counters]] = {}
+
+
+def register_provider(name: str, fn: Callable[[], Counters]) -> None:
+    """Register (or replace) a named counter provider."""
+    _PROVIDERS[name] = fn
+
+
+def snapshot() -> Dict[str, Counters]:
+    return {name: dict(fn()) for name, fn in _PROVIDERS.items()}
+
+
+def delta(before: Dict[str, Counters],
+          after: Dict[str, Counters]) -> Dict[str, Counters]:
+    """Per-provider counter increments between two snapshots."""
+    out: Dict[str, Counters] = {}
+    for name, counters in after.items():
+        base = before.get(name, {})
+        diff = {key: value - base.get(key, 0)
+                for key, value in counters.items()
+                if value - base.get(key, 0)}
+        if diff:
+            out[name] = diff
+    return out
+
+
+def accumulate(total: Dict[str, Counters],
+               increment: Dict[str, Counters]) -> None:
+    """Sum ``increment`` into ``total`` in place."""
+    for name, counters in increment.items():
+        bucket = total.setdefault(name, {})
+        for key, value in counters.items():
+            bucket[key] = bucket.get(key, 0) + value

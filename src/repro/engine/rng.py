@@ -1,0 +1,57 @@
+"""Deterministic seed derivation for parallel stage execution.
+
+The old pipeline threaded one ``random.Random`` through every stage, so
+the stream a design consumed depended on every design processed before it
+— serializing the whole pipeline.  Here every work unit derives its own
+independent stream from ``(global_seed, stage_name, unit_id, label)`` via
+SHA-256, so results are byte-identical no matter how units are scheduled
+across workers (and no matter Python's per-process hash randomization,
+which is why ``hash()`` is not used).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+_SEP = b"\x1f"  # unit separator: keeps ("ab","c") distinct from ("a","bc")
+
+
+def derive_seed(*parts: object) -> int:
+    """A stable 64-bit seed from an arbitrary tuple of parts.
+
+    Parts are rendered with their type name so ``1`` and ``"1"`` derive
+    different streams.
+    """
+    payload = _SEP.join(
+        f"{type(part).__name__}:{part}".encode("utf-8") for part in parts)
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(*parts: object) -> random.Random:
+    """A fresh ``random.Random`` seeded by :func:`derive_seed`."""
+    return random.Random(derive_seed(*parts))
+
+
+@dataclass(frozen=True)
+class StageContext:
+    """Everything a per-unit stage callable needs besides its payload.
+
+    Picklable, so it travels to process-pool workers alongside the unit.
+    ``rng(label)`` hands out independent streams for independent concerns
+    within one unit (e.g. ``rng("sva")`` vs ``rng("bugs")``), all derived
+    from ``(global_seed, stage_name, unit_id, label)``.
+    """
+
+    global_seed: int
+    stage_name: str
+    unit_id: str
+
+    def seed_for(self, label: str = "") -> int:
+        return derive_seed(self.global_seed, self.stage_name, self.unit_id,
+                           label)
+
+    def rng(self, label: str = "") -> random.Random:
+        return random.Random(self.seed_for(label))

@@ -12,14 +12,20 @@ golden buggy line and the suggested fix must match the golden fixed line
 repair by patching the design and re-running the bounded checker — an
 extension the paper does not do (it compares text), available for the
 ablation benches.
+
+Each case samples from an RNG derived per ``(seed, "eval", case_id)``
+instead of one stream threaded across cases, so ``evaluate_model`` can
+fan case chunks out over an :class:`repro.engine.ExecutionEngine` and
+still return exactly the serial outcomes.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datagen.records import SvaEvalCase
+from repro.engine import ExecutionEngine, derive_rng
 from repro.eval.passk import aggregate_pass_at_k
 from repro.model.assertsolver import Problem, SolverResponse
 
@@ -113,14 +119,47 @@ def generate_for_case(model, case: SvaEvalCase, n: int,
     return model.generate(Problem.from_entry(case.entry), n=n, rng=rng)
 
 
+def _case_rng(seed: int, case: SvaEvalCase) -> random.Random:
+    """Independent per-case stream: scheduling cannot leak into results."""
+    return derive_rng(seed, "eval", case.case_id)
+
+
+def _score_case(model, case: SvaEvalCase, n: int, seed: int) -> Tuple[int, int]:
+    responses = generate_for_case(model, case, n, _case_rng(seed, case))
+    c = sum(1 for response in responses if is_correct(response, case))
+    return len(responses), c
+
+
+def _eval_chunk(payload) -> List[Tuple[int, int]]:
+    """Worker task: score a contiguous chunk of cases with one model copy."""
+    model, chunk, n, seed = payload
+    return [_score_case(model, case, n, seed) for case in chunk]
+
+
 def evaluate_model(model, cases: Iterable[SvaEvalCase], n: int = 20,
-                   seed: int = 123) -> EvalResult:
-    """Run ``model`` over ``cases`` with ``n`` samples each (paper: 20)."""
-    rng = random.Random(seed)
-    outcomes: List[CaseOutcome] = []
-    for case in cases:
-        responses = generate_for_case(model, case, n, rng)
-        c = sum(1 for response in responses if is_correct(response, case))
-        outcomes.append(CaseOutcome(case, len(responses), c))
+                   seed: int = 123,
+                   engine: Optional[ExecutionEngine] = None) -> EvalResult:
+    """Run ``model`` over ``cases`` with ``n`` samples each (paper: 20).
+
+    With a parallel ``engine``, cases are scored in chunks across the
+    worker pool; per-case derived RNGs keep the outcomes byte-identical
+    to the serial path.
+    """
+    cases = list(cases)
+    scores: List[Tuple[int, int]]
+    if engine is not None and engine.parallel and len(cases) > 1:
+        chunk_size = max(1, (len(cases) + engine.n_workers * 4 - 1)
+                         // (engine.n_workers * 4))
+        payloads = [(model, cases[i:i + chunk_size], n, seed)
+                    for i in range(0, len(cases), chunk_size)]
+        # engine.map preserves input order, so the contiguous chunks
+        # flatten straight back into case order.
+        scores = [score for chunk in
+                  engine.map(_eval_chunk, payloads, stage="evaluate")
+                  for score in chunk]
+    else:
+        scores = [_score_case(model, case, n, seed) for case in cases]
+    outcomes = [CaseOutcome(case, total, c)
+                for case, (total, c) in zip(cases, scores)]
     name = getattr(model, "name", type(model).__name__)
     return EvalResult(name, outcomes, n)

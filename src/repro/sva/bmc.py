@@ -82,6 +82,39 @@ class BmcResult:
         return f"BmcResult({state}, tried={self.stimuli_tried})"
 
 
+class BmcBatchResult:
+    """Per-assertion outcome of one bounded check over a shared design.
+
+    ``failed_labels`` holds assertion labels with a counterexample within
+    the bound, ``error_labels`` maps labels whose property the monitor
+    could not evaluate (hallucinated constructs) to the error text, and
+    ``design_error`` reports an RTL-level simulation failure that voids
+    every assertion alike.
+    """
+
+    __slots__ = ("failed_labels", "error_labels", "stimuli_tried",
+                 "design_error")
+
+    def __init__(self):
+        self.failed_labels: set = set()
+        self.error_labels: dict = {}
+        self.stimuli_tried = 0
+        self.design_error: Optional[str] = None
+
+    def rejects(self, label: str) -> bool:
+        """Would an individual bounded check have rejected this label?"""
+        return (self.design_error is not None
+                or label in self.failed_labels
+                or label in self.error_labels)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.design_error:
+            return f"BmcBatchResult(design_error={self.design_error!r})"
+        return (f"BmcBatchResult({len(self.failed_labels)} failed, "
+                f"{len(self.error_labels)} errored, "
+                f"tried={self.stimuli_tried})")
+
+
 def _stimulus_portfolio(design: Design, config: BmcConfig) -> Iterable[Stimulus]:
     """Directed patterns first (cheap, catch most corpus bugs), then random."""
     yield constant_sequence(design, config.depth, 1, config.reset_cycles)
@@ -94,6 +127,20 @@ def _stimulus_portfolio(design: Design, config: BmcConfig) -> Iterable[Stimulus]
         yield reset_sequence(design, config.depth, rng, config.reset_cycles)
 
 
+def _candidate_stimuli(design: Design, config: BmcConfig) -> Iterable[Stimulus]:
+    """The shared candidate selection for every bounded check.
+
+    :func:`bounded_check` and :func:`bounded_check_batch` must draw the
+    exact same stimuli or their verdict-equivalence contract breaks, so
+    the exhaustive-bits decision lives only here.
+    """
+    total_bits = sum(s.width for s in design.free_inputs())
+    if total_bits * config.depth <= config.exhaustive_bits:
+        return enumerate_exhaustive(design, config.depth,
+                                    config.reset_cycles)
+    return _stimulus_portfolio(design, config)
+
+
 def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResult:
     """Search for an assertion counterexample within the budget."""
     config = config or BmcConfig()
@@ -101,15 +148,7 @@ def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResu
     if not design.assertions:
         return result
 
-    total_bits = sum(s.width for s in design.free_inputs())
-    exhaustive = total_bits * config.depth <= config.exhaustive_bits
-
-    if exhaustive:
-        candidates: Iterable[Stimulus] = enumerate_exhaustive(
-            design, config.depth, config.reset_cycles)
-    else:
-        candidates = _stimulus_portfolio(design, config)
-
+    candidates = _candidate_stimuli(design, config)
     simulator = Simulator(design)
     for stimulus in candidates:
         result.stimuli_tried += 1
@@ -127,6 +166,53 @@ def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResu
             result.trace = trace
             result.stimulus = stimulus
             return result
+    return result
+
+
+def bounded_check_batch(design: Design,
+                        config: Optional[BmcConfig] = None) -> BmcBatchResult:
+    """One portfolio run scoring every assertion independently.
+
+    Byte-equivalent to running :func:`bounded_check` once per assertion on
+    a design carrying only that assertion: the stimulus portfolio depends
+    only on the design's free inputs (assertions add none), traces are
+    identical, and the monitor evaluates each assertion in isolation — so
+    ``rejects(label)`` reproduces the individual ``not passed_bound``
+    verdict while simulating the shared RTL once instead of N times.
+    """
+    from repro.sva.monitor import PropertyChecker
+
+    config = config or BmcConfig()
+    result = BmcBatchResult()
+    if not design.assertions:
+        return result
+
+    candidates = _candidate_stimuli(design, config)
+    labels = [assertion.label for assertion in design.assertions]
+    simulator = Simulator(design)
+    for stimulus in candidates:
+        result.stimuli_tried += 1
+        try:
+            trace = simulator.run(stimulus)
+        except (SimulationError, EvalError) as exc:
+            # RTL-level problem: every per-assertion run would have hit it.
+            result.design_error = str(exc)
+            return result
+        checker = PropertyChecker(design, trace)
+        for assertion in design.assertions:
+            if assertion.label in result.failed_labels \
+                    or assertion.label in result.error_labels:
+                continue
+            try:
+                failures = checker.check(assertion, config.reset_cycles + 1)
+            except EvalError as exc:
+                result.error_labels[assertion.label] = str(exc)
+                continue
+            if failures:
+                result.failed_labels.add(assertion.label)
+        if all(label in result.failed_labels or label in result.error_labels
+               for label in labels):
+            break  # every assertion already resolved; no verdict can change
     return result
 
 

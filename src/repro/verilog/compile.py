@@ -5,12 +5,25 @@
 and the elaborated design.  The datagen pipeline treats ``result.ok`` like
 the exit status of ``iverilog`` and ``result.failure_summary()`` like its
 stderr.
+
+Compilation is pure, so results are memoized in a process-local
+:class:`CompileCache` keyed by a content hash of the source text: the same
+golden source used to be recompiled by the corpus generator, Stage 1, the
+SVA insertion path, the bug-mutant syntax check and the semantic
+re-verification in eval.  Cached :class:`CompileResult` objects are shared
+— treat them as immutable.  Hit/miss counters are exported through
+:mod:`repro.engine.metrics` so worker-pool runs can aggregate them into
+``DatasetBundle.stats``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
 
+from repro.engine import metrics
 from repro.verilog import ast
 from repro.verilog.elaborator import Design, elaborate
 from repro.verilog.errors import Diagnostic, VerilogError
@@ -45,14 +58,100 @@ class CompileResult:
         return f"CompileResult({status})"
 
 
-def compile_source(source_text: str) -> CompileResult:
-    """Compile Verilog source text.
+class CompileCache:
+    """Content-hash LRU memoization of :func:`compile_source`.
 
-    Never raises for source-level problems; syntax and semantic failures are
-    reported through ``result.ok`` / ``result.diagnostics`` so the pipeline
-    can harvest failing samples for the Verilog-PT dataset exactly as the
-    paper keeps non-compiling code for pretraining.
+    Thread-safe; failures are cached too (a source that does not compile
+    never will).  Counters are monotonic so deltas between snapshots are
+    meaningful.
     """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, CompileResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key(source_text: str) -> str:
+        return hashlib.sha256(source_text.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compile(self, source_text: str) -> CompileResult:
+        key = self.key(source_text)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.misses += 1
+        result = _compile_uncached(source_text)
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"CompileCache({len(self._entries)}/{self.max_entries} "
+                f"entries, {self.hits} hits, {self.misses} misses)")
+
+
+_DEFAULT_CACHE = CompileCache()
+_CACHE_ENABLED = True
+
+
+def default_compile_cache() -> CompileCache:
+    return _DEFAULT_CACHE
+
+
+def configure_compile_cache(enabled: Optional[bool] = None,
+                            max_entries: Optional[int] = None):
+    """Reconfigure the process-wide cache; returns the previous settings.
+
+    Also used as a worker-pool initializer so subprocesses inherit the
+    pipeline's cache knobs.
+    """
+    global _DEFAULT_CACHE, _CACHE_ENABLED
+    previous = (_CACHE_ENABLED, _DEFAULT_CACHE.max_entries)
+    if enabled is not None:
+        _CACHE_ENABLED = bool(enabled)
+    if max_entries is not None and max_entries != _DEFAULT_CACHE.max_entries:
+        _DEFAULT_CACHE = CompileCache(max_entries=max_entries)
+    return previous
+
+
+def compile_cache_counters() -> Dict[str, int]:
+    """Metrics provider: current process-local cache counters."""
+    return _DEFAULT_CACHE.counters()
+
+
+metrics.register_provider("compile_cache", compile_cache_counters)
+
+
+def _compile_uncached(source_text: str) -> CompileResult:
     result = CompileResult(source_text)
     try:
         result.source = parse_source(source_text)
@@ -71,3 +170,20 @@ def compile_source(source_text: str) -> CompileResult:
     result.diagnostics.extend(design.diagnostics)
     result.ok = not any(d.is_error() for d in result.diagnostics)
     return result
+
+
+def compile_source(source_text: str, use_cache: bool = True) -> CompileResult:
+    """Compile Verilog source text.
+
+    Never raises for source-level problems; syntax and semantic failures are
+    reported through ``result.ok`` / ``result.diagnostics`` so the pipeline
+    can harvest failing samples for the Verilog-PT dataset exactly as the
+    paper keeps non-compiling code for pretraining.
+
+    Results are memoized in the process-wide :class:`CompileCache` unless
+    ``use_cache=False`` or the cache is globally disabled; cached results
+    are shared objects and must not be mutated.
+    """
+    if use_cache and _CACHE_ENABLED:
+        return _DEFAULT_CACHE.get_or_compile(source_text)
+    return _compile_uncached(source_text)
