@@ -18,6 +18,13 @@ compile-cache hit rate, speedup, fingerprint equality) so the perf
 trajectory is tracked across PRs.  Each setting is run ``--repeats``
 times from a cold cache and the best time kept.
 
+With ``--baseline <committed BENCH_pipeline.json>`` the run additionally
+acts as a CI regression gate: it exits non-zero when the parallel
+setting's designs/sec falls more than ``--max-regression`` (default 30%)
+below the baseline's.  Absolute rates vary across hosts and scales, so
+the threshold is deliberately loose — it catches order-of-magnitude
+perf bugs, not single-digit drift.
+
 Run:  PYTHONPATH=src python benchmarks/bench_pipeline_speed.py
 """
 
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -92,6 +100,21 @@ def run_bench(n_designs: int = 120, n_workers: int = 4, seed: int = 2025,
     return report
 
 
+def check_regression(report: dict, baseline_path: Path,
+                     max_regression: float) -> bool:
+    """Compare this run's parallel designs/sec against a committed
+    baseline report.  Returns True when within the allowed regression."""
+    baseline = json.loads(baseline_path.read_text())
+    base_rate = baseline["parallel"]["designs_per_sec"]
+    new_rate = report["parallel"]["designs_per_sec"]
+    floor = base_rate * (1.0 - max_regression)
+    verdict = "ok" if new_rate >= floor else "REGRESSION"
+    print(f"  regression check: {new_rate:.3f} designs/s vs baseline "
+          f"{base_rate:.3f} (floor {floor:.3f}, "
+          f"allowed -{max_regression:.0%}) -> {verdict}")
+    return new_rate >= floor
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--designs", type=int, default=120)
@@ -99,9 +122,20 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_pipeline.json to gate against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional designs/sec drop vs baseline")
     args = parser.parse_args()
-    run_bench(n_designs=args.designs, n_workers=args.workers,
-              seed=args.seed, repeats=args.repeats, output=args.output)
+    report = run_bench(n_designs=args.designs, n_workers=args.workers,
+                       seed=args.seed, repeats=args.repeats,
+                       output=args.output)
+    if not report["fingerprints_match"]:
+        print("  FATAL: serial and parallel fingerprints diverge")
+        sys.exit(1)
+    if args.baseline is not None and not check_regression(
+            report, args.baseline, args.max_regression):
+        sys.exit(2)
 
 
 if __name__ == "__main__":

@@ -53,6 +53,24 @@ endmodule
 
 
 def main():
+    # --- 0. pick corpus scenario families -------------------------------
+    # The corpus samples from 30+ registered template families; selecting
+    # a subset (and biasing the mix with weights) focuses the generated
+    # training data on specific design scenarios.  Unknown names raise —
+    # the same validation guards DatagenConfig/PipelineConfig, e.g.
+    # PipelineConfig(template_families=("sync_fifo", ...)).
+    from repro.corpus import CorpusGenerator
+
+    scenario_gen = CorpusGenerator(
+        seed=7,
+        families=["moore_handshake", "sync_fifo", "round_robin_arbiter"],
+        weights={"sync_fifo": 2.0})
+    print("=== corpus scenario sampling (control-heavy families) ===")
+    for design in scenario_gen.generate(4):
+        print(f"  {design.name:<28} [{design.meta.family}] "
+              f"{design.line_count} lines")
+    print()
+
     # --- 1. compile and reproduce the assertion failure -----------------
     result = compile_source(BUGGY_ACCU)
     assert result.ok, result.failure_summary()

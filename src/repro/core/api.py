@@ -17,10 +17,11 @@ the benchmark suite share one trained pipeline across benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.engine import BaselineModel
 from repro.baselines.profiles import BASELINE_PROFILES
+from repro.corpus.generator import resolve_families
 from repro.datagen.pipeline import DatagenConfig, DatasetBundle, run_pipeline
 from repro.engine import ExecutionEngine
 from repro.eval.benchmark import SvaEvalBenchmark, build_benchmark
@@ -44,6 +45,11 @@ class PipelineConfig:
     ``n_workers``/``backend`` parallelize both the datagen stage graph
     and model evaluation; they never change results (all randomness is
     derived per work unit).
+
+    ``template_families``/``family_weights`` select and weight the corpus
+    scenario families (FSMs, FIFOs, arbiters, datapaths, ...) the whole
+    reproduction trains and evaluates on; see
+    :func:`repro.corpus.resolve_families` for validation rules.
     """
 
     n_designs: int = 80
@@ -55,6 +61,13 @@ class PipelineConfig:
     n_workers: int = 1
     backend: str = "auto"
     compile_cache: bool = True
+    template_families: Optional[Tuple[str, ...]] = None
+    family_weights: Optional[Dict[str, float]] = None
+
+    def __post_init__(self):
+        # Fail fast on unknown/empty family selections instead of minutes
+        # later when run_datagen() first builds a DatagenConfig.
+        resolve_families(self.template_families, self.family_weights)
 
     def datagen(self) -> DatagenConfig:
         return DatagenConfig(n_designs=self.n_designs,
@@ -62,7 +75,9 @@ class PipelineConfig:
                              seed=self.seed,
                              n_workers=self.n_workers,
                              backend=self.backend,
-                             compile_cache=self.compile_cache)
+                             compile_cache=self.compile_cache,
+                             template_families=self.template_families,
+                             family_weights=self.family_weights)
 
     def make_engine(self) -> ExecutionEngine:
         return ExecutionEngine(n_workers=self.n_workers,
@@ -72,8 +87,14 @@ class PipelineConfig:
         # Semantic fields only: the execution knobs (n_workers, backend,
         # compile_cache) never change results, so they must not fork the
         # shared-pipeline cache into redundant multi-minute train runs.
+        # The family selection IS semantic — it changes the corpus.
+        families = (tuple(self.template_families)
+                    if self.template_families else None)
+        weights = (tuple(sorted(self.family_weights.items()))
+                   if self.family_weights else None)
         return (self.n_designs, self.bugs_per_design, self.seed,
-                self.n_samples, self.include_human, self.include_baselines)
+                self.n_samples, self.include_human, self.include_baselines,
+                families, weights)
 
 
 class AssertSolverPipeline:

@@ -13,15 +13,30 @@ constants, direct/indirect assertion cones).
   Verilog-PT pretraining split (the paper keeps non-compiling code).
 """
 
-from repro.corpus.generator import CorpusGenerator
+from repro.corpus.generator import (
+    DEFAULT_FAMILY_WEIGHTS,
+    CorpusGenerator,
+    CorpusTask,
+    corpus_unit,
+    resolve_families,
+)
 from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
-from repro.corpus.registry import TEMPLATE_FAMILIES, template_names
+from repro.corpus.registry import (
+    SCENARIO_FAMILIES,
+    TEMPLATE_FAMILIES,
+    template_names,
+)
 
 __all__ = [
     "CorpusGenerator",
+    "CorpusTask",
+    "corpus_unit",
+    "resolve_families",
     "DesignSeed",
     "SvaHint",
     "TemplateMeta",
+    "DEFAULT_FAMILY_WEIGHTS",
+    "SCENARIO_FAMILIES",
     "TEMPLATE_FAMILIES",
     "template_names",
 ]

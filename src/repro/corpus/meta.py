@@ -7,7 +7,18 @@ oracle) and which temporal properties hold on it (feeding the SVA oracle).
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional
+
+
+def design_uid(rng: random.Random) -> str:
+    """Five-digit module-name suffix every template family draws.
+
+    Shared so the uid space (and hence the name-collision rate that
+    :func:`repro.datagen.stage1.unit_ids` disambiguates) changes in one
+    place for all families at once.
+    """
+    return f"{rng.randrange(100000):05d}"
 
 
 class SvaHint:

@@ -12,10 +12,13 @@ from typing import Callable, Dict, List
 import random
 
 from repro.corpus.meta import DesignSeed
+from repro.corpus.templates_arbiter import ARBITER_TEMPLATES
 from repro.corpus.templates_basic import BASIC_TEMPLATES
 from repro.corpus.templates_control import CONTROL_TEMPLATES
 from repro.corpus.templates_datapath import DATAPATH_TEMPLATES
+from repro.corpus.templates_fsm import FSM_TEMPLATES
 from repro.corpus.templates_idioms import IDIOM_TEMPLATES
+from repro.corpus.templates_memory import MEMORY_TEMPLATES
 from repro.corpus.templates_wide import WIDE_TEMPLATES
 
 TemplateFn = Callable[[random.Random], DesignSeed]
@@ -26,6 +29,16 @@ TEMPLATE_FAMILIES.update(DATAPATH_TEMPLATES)
 TEMPLATE_FAMILIES.update(CONTROL_TEMPLATES)
 TEMPLATE_FAMILIES.update(WIDE_TEMPLATES)
 TEMPLATE_FAMILIES.update(IDIOM_TEMPLATES)
+TEMPLATE_FAMILIES.update(FSM_TEMPLATES)
+TEMPLATE_FAMILIES.update(MEMORY_TEMPLATES)
+TEMPLATE_FAMILIES.update(ARBITER_TEMPLATES)
+
+#: Families added after the seed corpus (PR 2): control-heavy scenario
+#: coverage.  Tests and docs reference this to distinguish them from the
+#: seed template set.
+SCENARIO_FAMILIES = (tuple(sorted(FSM_TEMPLATES))
+                     + tuple(sorted(MEMORY_TEMPLATES))
+                     + tuple(sorted(ARBITER_TEMPLATES)))
 
 
 def template_names() -> List[str]:

@@ -1,0 +1,154 @@
+"""Arbiter template families with grant invariants.
+
+The seed corpus has one fixed-priority arbiter; these add a round-robin
+arbiter (rotating pointer, fairness-by-rotation) and a priority arbiter
+with a per-channel enable mask — both with one-hot/causality grant
+invariants for the SVA oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
+
+
+def make_round_robin_arbiter(rng: random.Random) -> DesignSeed:
+    """Round-robin arbiter: the pointer rotates past each served channel."""
+    channels = rng.choice([2, 3])
+    ptr_width = max((channels - 1).bit_length(), 1)
+    name = f"rr_arbiter_{channels}ch_{design_uid(rng)}"
+    # pick[c]: for each pointer value, c wins when no channel earlier in
+    # the rotation (ptr, ptr+1, ...) is requesting.
+    terms = {c: [] for c in range(channels)}
+    for p in range(channels):
+        order = [(p + k) % channels for k in range(channels)]
+        for idx, c in enumerate(order):
+            conds = [f"ptr == {ptr_width}'d{p}", f"req[{c}]"]
+            conds += [f"!req[{j}]" for j in order[:idx]]
+            terms[c].append("(" + " && ".join(conds) + ")")
+    picks = "\n".join(
+        f"  assign pick[{c}] = {' || '.join(terms[c])};"
+        for c in range(channels))
+    ptr_update = "\n".join(
+        f"    else if (pick[{c}])\n"
+        f"      ptr <= {ptr_width}'d{(c + 1) % channels};"
+        for c in range(channels))
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{channels - 1}:0] req,
+  output reg [{channels - 1}:0] gnt,
+  output reg [{ptr_width - 1}:0] ptr
+);
+  wire [{channels - 1}:0] pick;
+{picks}
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      gnt <= {channels}'d0;
+    else
+      gnt <= pick;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      ptr <= {ptr_width}'d0;
+{ptr_update}
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("grant_onehot0", consequent="$onehot0(gnt)",
+                message="at most one requester may hold the grant"),
+        SvaHint("grant_needs_req", consequent="(gnt & ~$past(req)) == 0",
+                message="a grant must answer a request from the previous cycle"),
+        SvaHint("ptr_legal", consequent=f"ptr <= {ptr_width}'d{channels - 1}",
+                message="the rotation pointer must name a real channel"),
+        SvaHint("busy_grants",
+                antecedent=f"req == {channels}'d{(1 << channels) - 1}",
+                delay=1, consequent="$onehot(gnt)",
+                message="with every channel requesting, exactly one wins"),
+        SvaHint("serve0_rotates", antecedent="pick[0]", delay=1,
+                consequent=f"gnt[0] && ptr == {ptr_width}'d{1 % channels}",
+                message="serving channel 0 must rotate the pointer past it"),
+    ]
+    meta = TemplateMeta(
+        family="round_robin_arbiter",
+        params={"channels": channels},
+        summary=f"A {channels}-channel round-robin arbiter whose priority "
+                f"pointer rotates past each served channel.",
+        behaviour=[
+            "pick selects the first requester at or after the pointer",
+            "gnt registers pick every clock and is one-hot or idle",
+            "a served channel moves the pointer to its successor",
+            "rotation gives every requester a turn under full load",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_priority_arbiter(rng: random.Random) -> DesignSeed:
+    """Fixed-priority arbiter gated by a per-channel enable mask."""
+    channels = rng.choice([2, 3, 4])
+    name = f"prio_arbiter_{channels}ch_{design_uid(rng)}"
+    picks = []
+    for c in range(channels):
+        conds = [f"!eff[{j}]" for j in range(c)] + [f"eff[{c}]"]
+        picks.append(f"  assign pick[{c}] = {' && '.join(conds)};")
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input [{channels - 1}:0] req,
+  input [{channels - 1}:0] en,
+  output reg [{channels - 1}:0] gnt
+);
+  wire [{channels - 1}:0] eff;
+  wire [{channels - 1}:0] pick;
+  assign eff = req & en;
+{chr(10).join(picks)}
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      gnt <= {channels}'d0;
+    else
+      gnt <= pick;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("grant_onehot0", consequent="$onehot0(gnt)",
+                message="at most one requester may hold the grant"),
+        SvaHint("top_enabled_wins", antecedent="req[0] && en[0]", delay=1,
+                consequent="gnt[0]",
+                message="the top channel wins whenever it is enabled and "
+                        "requesting"),
+        SvaHint("masked_never_granted", consequent="(gnt & ~$past(en)) == 0",
+                message="a disabled channel must never receive the grant"),
+        SvaHint("grant_needs_req", consequent="(gnt & ~$past(req)) == 0",
+                message="a grant must answer a request from the previous cycle"),
+        SvaHint("idle_when_masked",
+                antecedent=f"eff == {channels}'d0", delay=1,
+                consequent=f"gnt == {channels}'d0",
+                message="no enabled request means no grant"),
+    ]
+    meta = TemplateMeta(
+        family="priority_arbiter",
+        params={"channels": channels},
+        summary=f"A {channels}-channel fixed-priority arbiter whose requests "
+                f"are gated by a per-channel enable mask (channel 0 highest).",
+        behaviour=[
+            "eff masks the request vector with the enable inputs",
+            "pick selects the lowest-index effective request",
+            "gnt registers pick every clock and is one-hot or idle",
+            "disabled channels can never be granted",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+ARBITER_TEMPLATES = {
+    "round_robin_arbiter": make_round_robin_arbiter,
+    "priority_arbiter": make_priority_arbiter,
+}

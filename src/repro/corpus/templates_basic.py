@@ -10,18 +10,14 @@ from __future__ import annotations
 
 import random
 
-from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
-
-
-def _uid(rng: random.Random) -> str:
-    return f"{rng.randrange(100000):05d}"
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
 
 
 def make_counter(rng: random.Random) -> DesignSeed:
     """Modulo counter with enable."""
     width = rng.choice([3, 4, 5, 6, 8])
     modulo = rng.randrange(3, (1 << width) - 1)
-    name = f"mod_counter_{_uid(rng)}"
+    name = f"mod_counter_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -78,7 +74,7 @@ def make_accumulator(rng: random.Random) -> DesignSeed:
     beats = rng.choice([2, 4])
     cnt_width = max((beats - 1).bit_length(), 1)
     out_width = width + 2
-    name = f"accu_{_uid(rng)}"
+    name = f"accu_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -153,7 +149,7 @@ endmodule
 def make_shift_register(rng: random.Random) -> DesignSeed:
     """Serial-in serial-out shift register."""
     depth = rng.choice([3, 4, 6, 8])
-    name = f"shift_reg_{_uid(rng)}"
+    name = f"shift_reg_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -201,7 +197,7 @@ def make_parity_tracker(rng: random.Random) -> DesignSeed:
     odd = rng.choice([0, 1])
     op = "~^" if odd else "^"
     kind = "odd" if odd else "even"
-    name = f"parity_{kind}_{_uid(rng)}"
+    name = f"parity_{kind}_{design_uid(rng)}"
     parity_expr = f"{op}data_in" if not odd else f"!(^data_in)"
     source = f"""
 module {name} (
@@ -244,7 +240,7 @@ def make_edge_detector(rng: random.Random) -> DesignSeed:
     """Rising/falling edge pulse generator."""
     falling = rng.choice([0, 1])
     kind = "fall" if falling else "rise"
-    name = f"edge_{kind}_{_uid(rng)}"
+    name = f"edge_{kind}_{design_uid(rng)}"
     if falling:
         pulse_expr = "~sig_in & prev"
         sva_trig = "$fell(sig_in)"

@@ -5,17 +5,13 @@ from __future__ import annotations
 
 import random
 
-from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
-
-
-def _uid(rng: random.Random) -> str:
-    return f"{rng.randrange(100000):05d}"
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
 
 
 def make_sequence_detector(rng: random.Random) -> DesignSeed:
     """Mealy detector for the bit pattern 101 (or 110)."""
     pattern = rng.choice(["101", "110"])
-    name = f"seq_detect_{pattern}_{_uid(rng)}"
+    name = f"seq_detect_{pattern}_{design_uid(rng)}"
     if pattern == "101":
         transitions = """
       case (state)
@@ -93,7 +89,7 @@ endmodule
 def make_arbiter(rng: random.Random) -> DesignSeed:
     """Fixed-priority arbiter with registered one-hot grant."""
     channels = rng.choice([2, 3, 4])
-    name = f"arbiter_{channels}ch_{_uid(rng)}"
+    name = f"arbiter_{channels}ch_{design_uid(rng)}"
     grant_terms = []
     for i in range(channels):
         mask = " && ".join([f"!req[{j}]" for j in range(i)] + [f"req[{i}]"])
@@ -145,7 +141,7 @@ endmodule
 def make_handshake(rng: random.Random) -> DesignSeed:
     """Request/acknowledge handshake register with busy tracking."""
     width = rng.choice([4, 8])
-    name = f"handshake_{_uid(rng)}"
+    name = f"handshake_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -199,7 +195,7 @@ def make_fifo_tracker(rng: random.Random) -> DesignSeed:
     """FIFO occupancy tracker (counter with guarded push/pop)."""
     depth = rng.choice([4, 8, 15])
     width = max(depth.bit_length(), 2)
-    name = f"fifo_track_{_uid(rng)}"
+    name = f"fifo_track_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -253,7 +249,7 @@ def make_clock_divider(rng: random.Random) -> DesignSeed:
     """Divide-by-N tick generator."""
     divide = rng.choice([3, 4, 6, 10])
     width = max((divide - 1).bit_length(), 1)
-    name = f"clkdiv_{divide}_{_uid(rng)}"
+    name = f"clkdiv_{divide}_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -301,7 +297,7 @@ def make_traffic_light(rng: random.Random) -> DesignSeed:
     yellow = 2
     red = rng.choice([3, 4])
     width = 4
-    name = f"traffic_{_uid(rng)}"
+    name = f"traffic_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,

@@ -5,11 +5,7 @@ from __future__ import annotations
 
 import random
 
-from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
-
-
-def _uid(rng: random.Random) -> str:
-    return f"{rng.randrange(100000):05d}"
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
 
 
 def make_alu(rng: random.Random) -> DesignSeed:
@@ -23,7 +19,7 @@ def make_alu(rng: random.Random) -> DesignSeed:
     count = rng.choice([4, 6, 8])
     chosen = ops[:count]
     op_width = max((count - 1).bit_length(), 1)
-    name = f"alu_{_uid(rng)}"
+    name = f"alu_{design_uid(rng)}"
     cases = "\n".join(
         f"      {op_width}'d{i}:\n        result <= {expr};"
         for i, (_, expr) in enumerate(chosen))
@@ -86,7 +82,7 @@ endmodule
 def make_comparator(rng: random.Random) -> DesignSeed:
     """Registered magnitude comparator with three flags."""
     width = rng.choice([4, 8, 12])
-    name = f"cmp_{_uid(rng)}"
+    name = f"cmp_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -138,7 +134,7 @@ def make_saturating_counter(rng: random.Random) -> DesignSeed:
     """Up/down counter saturating at [0, MAX]."""
     width = rng.choice([3, 4, 6])
     maximum = rng.randrange(3, (1 << width) - 1)
-    name = f"sat_counter_{_uid(rng)}"
+    name = f"sat_counter_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -189,7 +185,7 @@ endmodule
 def make_gray_counter(rng: random.Random) -> DesignSeed:
     """Free-running binary counter with gray-coded output."""
     width = rng.choice([3, 4, 5, 6])
-    name = f"gray_counter_{_uid(rng)}"
+    name = f"gray_counter_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -232,7 +228,7 @@ def make_lfsr(rng: random.Random) -> DesignSeed:
     """Fibonacci LFSR seeded nonzero by reset."""
     width = rng.choice([4, 5, 7, 8])
     tap = rng.randrange(1, width - 1)
-    name = f"lfsr_{_uid(rng)}"
+    name = f"lfsr_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -274,7 +270,7 @@ endmodule
 def make_pwm(rng: random.Random) -> DesignSeed:
     """PWM: free-running counter compared against a duty threshold."""
     width = rng.choice([3, 4, 6])
-    name = f"pwm_{_uid(rng)}"
+    name = f"pwm_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -321,7 +317,7 @@ def make_decoder(rng: random.Random) -> DesignSeed:
     """Registered one-hot decoder."""
     sel_width = rng.choice([2, 3])
     out_width = 1 << sel_width
-    name = f"decoder_{_uid(rng)}"
+    name = f"decoder_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,

@@ -1,0 +1,160 @@
+"""State-machine template families with handshake protocols.
+
+Control-heavy scenarios the datapath-leaning seed corpus never produces:
+a Moore FSM driving a start/busy/done protocol and a Mealy valid/ready
+acceptor.  Both keep their state registers on ports so the SVA hints (and
+the bugs later injected against them) can talk about control state
+directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
+
+
+def make_moore_handshake(rng: random.Random) -> DesignSeed:
+    """Moore FSM (idle/run/done) with a dwell counter and start handshake."""
+    steps = rng.choice([2, 3, 4])
+    width = max((steps - 1).bit_length(), 1)
+    name = f"moore_hs_{steps}s_{design_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input start,
+  output wire busy,
+  output wire done,
+  output reg [1:0] state,
+  output reg [{width - 1}:0] step
+);
+  assign busy = state == 2'd1;
+  assign done = state == 2'd2;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      state <= 2'd0;
+    else begin
+      case (state)
+      2'd0:
+        state <= start ? 2'd1 : 2'd0;
+      2'd1:
+        state <= (step == {width}'d{steps - 1}) ? 2'd2 : 2'd1;
+      2'd2:
+        state <= 2'd0;
+      default:
+        state <= 2'd0;
+      endcase
+    end
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      step <= {width}'d0;
+    else if (state == 2'd1 && step != {width}'d{steps - 1})
+      step <= step + {width}'d1;
+    else
+      step <= {width}'d0;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("state_legal", consequent="state <= 2'd2",
+                message="only idle/run/done states are legal"),
+        SvaHint("busy_moore", consequent="busy == (state == 2'd1)",
+                message="busy is a Moore output of the run state"),
+        SvaHint("start_launches", antecedent="state == 2'd0 && start",
+                delay=1, consequent="state == 2'd1",
+                message="a start request in idle must launch the run"),
+        SvaHint("done_one_cycle", antecedent="done", delay=1,
+                consequent="state == 2'd0",
+                message="done must last one cycle before returning to idle"),
+        SvaHint("step_bounded", consequent=f"step <= {width}'d{steps - 1}",
+                message="the dwell counter must stay below the step count"),
+    ]
+    meta = TemplateMeta(
+        family="moore_handshake",
+        params={"steps": steps},
+        summary=f"A Moore FSM running a start/busy/done handshake: start "
+                f"launches a {steps}-step run, then done pulses for one "
+                f"cycle.",
+        behaviour=[
+            "start in the idle state launches the run state",
+            f"the run state dwells for {steps} steps counted by step",
+            "done pulses for exactly one cycle after the run completes",
+            "busy and done are Moore outputs decoded from the state",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_mealy_handshake(rng: random.Random) -> DesignSeed:
+    """Mealy valid/ready acceptor: one-slot buffer with take-to-drain."""
+    width = rng.choice([4, 8])
+    name = f"mealy_hs_{design_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input valid,
+  input take,
+  input [{width - 1}:0] din,
+  output wire ready,
+  output wire accept,
+  output reg full,
+  output reg [{width - 1}:0] data_q
+);
+  assign ready = !full;
+  assign accept = valid && ready;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      full <= 1'b0;
+    else if (accept)
+      full <= 1'b1;
+    else if (take)
+      full <= 1'b0;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      data_q <= {width}'d0;
+    else if (accept)
+      data_q <= din;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("ready_mealy", consequent="ready == !full",
+                message="ready must mirror the empty slot"),
+        SvaHint("accept_fills", antecedent="valid && ready", delay=1,
+                consequent="full",
+                message="an accepted beat must occupy the slot"),
+        SvaHint("accept_captures", antecedent="valid && ready", delay=1,
+                consequent="data_q == $past(din)",
+                message="an accepted beat must capture its data"),
+        SvaHint("take_drains", antecedent="full && take", delay=1,
+                consequent="!full",
+                message="taking the held beat must free the slot"),
+        SvaHint("no_spurious_fill", antecedent="!full && !valid", delay=1,
+                consequent="!full",
+                message="the slot must stay empty without a valid beat"),
+    ]
+    meta = TemplateMeta(
+        family="mealy_handshake",
+        params={"width": width},
+        summary=f"A Mealy valid/ready acceptor holding one {width}-bit beat "
+                f"until taken.",
+        behaviour=[
+            "ready combinationally advertises the empty slot",
+            "accept fires the cycle valid meets ready (Mealy output)",
+            "an accepted beat is captured into data_q and holds the slot",
+            "take releases the slot for the next beat",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+FSM_TEMPLATES = {
+    "moore_handshake": make_moore_handshake,
+    "mealy_handshake": make_mealy_handshake,
+}

@@ -20,16 +20,12 @@ from __future__ import annotations
 
 import random
 
-from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
-
-
-def _uid(rng: random.Random) -> str:
-    return f"{rng.randrange(100000):05d}"
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
 
 
 def make_toggle_flop(rng: random.Random) -> DesignSeed:
     """Enable-gated toggle flip-flop with a phase output."""
-    name = f"toggle_{_uid(rng)}"
+    name = f"toggle_{design_uid(rng)}"
     with_clear = rng.choice([0, 1])
     clear_port = "  input clr,\n" if with_clear else ""
     clear_branch = "    else if (clr)\n      phase <= 1'b0;\n" if with_clear else ""
@@ -83,7 +79,7 @@ def make_operand_pipeline(rng: random.Random) -> DesignSeed:
     width = rng.choice([4, 8])
     op = rng.choice(["+", "-"])
     tag = "add" if op == "+" else "sub"
-    name = f"pipe_{tag}_{_uid(rng)}"
+    name = f"pipe_{tag}_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -150,7 +146,7 @@ endmodule
 def make_byte_pairing(rng: random.Random) -> DesignSeed:
     """Lock-and-pair width doubler — the hand-written width_8to16 idiom."""
     width = rng.choice([4, 8])
-    name = f"pair_{width}to{2 * width}_{_uid(rng)}"
+    name = f"pair_{width}to{2 * width}_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,
@@ -223,7 +219,7 @@ def make_history_window(rng: random.Random) -> DesignSeed:
     hand-written pulse_detect idiom."""
     depth = rng.choice([2, 3])
     pattern = rng.randrange(1, (1 << depth) - 1)
-    name = f"history_{depth}_{_uid(rng)}"
+    name = f"history_{depth}_{design_uid(rng)}"
     source = f"""
 module {name} (
   input clk,

@@ -1,0 +1,167 @@
+"""Buffering/storage template families: shift FIFOs and skid buffers.
+
+Unlike :mod:`repro.corpus.templates_control`'s occupancy *tracker*, the
+FIFO here carries real data through unrolled slots, so data-integrity
+properties (head shifting, flow-through on simultaneous push+pop) exist
+for the SVA oracle to assert and for injected bugs to violate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
+
+
+def make_sync_fifo(rng: random.Random) -> DesignSeed:
+    """Depth-2 shift FIFO with unrolled data slots (slot 0 is the head)."""
+    width = rng.choice([4, 8])
+    name = f"sync_fifo_{width}w_{design_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input push,
+  input pop,
+  input [{width - 1}:0] din,
+  output wire [{width - 1}:0] dout,
+  output reg [1:0] count,
+  output wire full,
+  output wire empty
+);
+  wire do_push;
+  wire do_pop;
+  reg [{width - 1}:0] s0;
+  reg [{width - 1}:0] s1;
+  assign full = count == 2'd2;
+  assign empty = count == 2'd0;
+  assign do_push = push && !full;
+  assign do_pop = pop && !empty;
+  assign dout = s0;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      count <= 2'd0;
+    else if (do_push && !do_pop)
+      count <= count + 2'd1;
+    else if (do_pop && !do_push)
+      count <= count - 2'd1;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      s0 <= {width}'d0;
+    else if (do_pop && count == 2'd2)
+      s0 <= s1;
+    else if (do_pop && do_push && count == 2'd1)
+      s0 <= din;
+    else if (do_push && count == 2'd0)
+      s0 <= din;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      s1 <= {width}'d0;
+    else if (do_push && !do_pop && count == 2'd1)
+      s1 <= din;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("count_bounded", consequent="count <= 2'd2",
+                message="occupancy may never exceed the FIFO depth"),
+        SvaHint("no_full_empty", consequent="!(full && empty)",
+                message="the FIFO cannot be full and empty at once"),
+        SvaHint("head_shifts", antecedent="pop && count == 2'd2", delay=1,
+                consequent="dout == $past(s1)",
+                message="popping a full FIFO must shift slot 1 to the head"),
+        SvaHint("first_push_lands",
+                antecedent="push && count == 2'd0", delay=1,
+                consequent="count == 2'd1 && dout == $past(din)",
+                message="a push into an empty FIFO must land at the head"),
+        SvaHint("pushpop_flows",
+                antecedent="push && pop && count == 2'd1", delay=1,
+                consequent="count == 2'd1 && dout == $past(din)",
+                message="simultaneous push+pop must flow data through"),
+    ]
+    meta = TemplateMeta(
+        family="sync_fifo",
+        params={"width": width, "depth": 2},
+        summary=f"A depth-2 synchronous FIFO carrying {width}-bit data in "
+                f"unrolled shift slots (slot 0 presents dout).",
+        behaviour=[
+            "push enqueues din unless full; pop dequeues unless empty",
+            "slot 0 is the head and drives dout combinationally",
+            "popping with two entries shifts slot 1 into the head",
+            "simultaneous push and pop keep the occupancy constant",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+def make_skid_buffer(rng: random.Random) -> DesignSeed:
+    """One-deep skid buffer: accepts while draining, holds on backpressure."""
+    width = rng.choice([4, 8])
+    name = f"skid_buf_{width}w_{design_uid(rng)}"
+    source = f"""
+module {name} (
+  input clk,
+  input rst_n,
+  input in_valid,
+  input [{width - 1}:0] in_data,
+  input out_ready,
+  output wire in_ready,
+  output wire out_valid,
+  output reg full,
+  output reg [{width - 1}:0] data_q
+);
+  assign in_ready = !full || out_ready;
+  assign out_valid = full;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      full <= 1'b0;
+    else if (in_valid && in_ready)
+      full <= 1'b1;
+    else if (out_ready)
+      full <= 1'b0;
+  end
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      data_q <= {width}'d0;
+    else if (in_valid && in_ready)
+      data_q <= in_data;
+  end
+endmodule
+"""
+    hints = [
+        SvaHint("valid_mirrors_full", consequent="out_valid == full",
+                message="downstream valid must mirror the occupied buffer"),
+        SvaHint("accept_loads", antecedent="in_valid && in_ready", delay=1,
+                consequent="full && data_q == $past(in_data)",
+                message="an accepted beat must occupy the buffer with its data"),
+        SvaHint("drain_frees", antecedent="full && out_ready && !in_valid",
+                delay=1, consequent="!full",
+                message="draining without a refill must free the buffer"),
+        SvaHint("backpressure_holds", antecedent="full && !out_ready",
+                delay=1, consequent="full && data_q == $past(data_q)",
+                message="a stalled beat must be held unchanged"),
+    ]
+    meta = TemplateMeta(
+        family="skid_buffer",
+        params={"width": width},
+        summary=f"A one-deep skid buffer for {width}-bit beats that keeps "
+                f"accepting while the output drains and holds data under "
+                f"backpressure.",
+        behaviour=[
+            "in_ready is high when the buffer is empty or draining",
+            "an accepted beat is captured into data_q",
+            "out_valid presents the occupied buffer downstream",
+            "backpressure (out_ready low) freezes the held beat",
+        ],
+        sva_hints=hints,
+    )
+    return DesignSeed(name, source, meta)
+
+
+MEMORY_TEMPLATES = {
+    "sync_fifo": make_sync_fifo,
+    "skid_buffer": make_skid_buffer,
+}

@@ -9,11 +9,7 @@ from __future__ import annotations
 
 import random
 
-from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
-
-
-def _uid(rng: random.Random) -> str:
-    return f"{rng.randrange(100000):05d}"
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta, design_uid
 
 
 def make_register_file(rng: random.Random) -> DesignSeed:
@@ -21,7 +17,7 @@ def make_register_file(rng: random.Random) -> DesignSeed:
     count = rng.choice([4, 8, 16, 32])
     width = rng.choice([4, 8])
     addr_width = max((count - 1).bit_length(), 1)
-    name = f"regfile_{count}x{width}_{_uid(rng)}"
+    name = f"regfile_{count}x{width}_{design_uid(rng)}"
     decls = "\n".join(f"  reg [{width - 1}:0] r{i};" for i in range(count))
     write_blocks = []
     for i in range(count):
@@ -87,7 +83,7 @@ def make_mux_tree(rng: random.Random) -> DesignSeed:
     lanes = rng.choice([4, 8, 16, 32])
     width = rng.choice([4, 8])
     sel_width = max((lanes - 1).bit_length(), 1)
-    name = f"mux_{lanes}to1_{_uid(rng)}"
+    name = f"mux_{lanes}to1_{design_uid(rng)}"
     ports = ",\n".join(f"  input [{width - 1}:0] in{i}" for i in range(lanes))
     cases = "\n".join(
         f"      {sel_width}'d{i}:\n        mux_out <= in{i};" for i in range(lanes))
@@ -138,7 +134,7 @@ def make_pipeline(rng: random.Random) -> DesignSeed:
     """N-stage valid/data pipeline."""
     stages = rng.choice([3, 4, 6, 8, 12, 16])
     width = rng.choice([4, 8])
-    name = f"pipe_{stages}s_{_uid(rng)}"
+    name = f"pipe_{stages}s_{design_uid(rng)}"
     decls = "\n".join(
         f"  reg [{width - 1}:0] d{i};\n  reg v{i};" for i in range(stages))
     blocks = []
@@ -199,7 +195,7 @@ def make_multichannel_accumulator(rng: random.Random) -> DesignSeed:
     channels = rng.choice([2, 3, 4])
     width = rng.choice([4, 8])
     acc_width = width + 4
-    name = f"multi_acc_{channels}ch_{_uid(rng)}"
+    name = f"multi_acc_{channels}ch_{design_uid(rng)}"
     port_lines = []
     for i in range(channels):
         port_lines.append(f"  input en{i},")

@@ -21,9 +21,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.corpus.generator import CorpusGenerator
+from repro.corpus.generator import CorpusGenerator, resolve_families
 from repro.datagen.records import (
     SvaBugEntry,
     SvaEvalCase,
@@ -57,6 +57,13 @@ class DatagenConfig:
     ``n_workers``/``backend`` control the engine's worker pool and
     ``compile_cache``/``compile_cache_size`` the content-hash compile
     memoization; none of them changes the produced datasets.
+
+    ``template_families`` restricts corpus sampling to a subset of the
+    registered template families (default: all) and ``family_weights``
+    overrides per-family sampling weights; both are semantic knobs — they
+    change which designs the corpus contains — and both are validated
+    against the registry, so an unregistered family name fails fast
+    instead of silently contributing zero designs.
     """
 
     n_designs: int = 60
@@ -72,6 +79,8 @@ class DatagenConfig:
     compile_cache: bool = True
     compile_cache_size: int = 4096
     sva_validation: str = "batched"
+    template_families: Optional[Tuple[str, ...]] = None
+    family_weights: Optional[Dict[str, float]] = None
 
     def __post_init__(self):
         self.validate()
@@ -99,6 +108,13 @@ class DatagenConfig:
             raise ValueError(
                 f"sva_validation must be one of {SVA_VALIDATION_MODES}, "
                 f"got {self.sva_validation!r}")
+        # Raises ValueError on unknown family names / bad weights.
+        resolve_families(self.template_families, self.family_weights)
+
+    def make_corpus_generator(self) -> CorpusGenerator:
+        return CorpusGenerator(seed=self.seed,
+                               families=self.template_families,
+                               weights=self.family_weights)
 
     def bmc(self) -> BmcConfig:
         return BmcConfig(depth=self.bmc_depth,
@@ -186,8 +202,10 @@ def build_stage_graph(config: DatagenConfig) -> StageGraph:
     """
     graph = StageGraph("datagen")
 
-    graph.add_stage("corpus", lambda inputs: CorpusGenerator(
-        seed=config.seed).generate(config.n_designs))
+    # The corpus is a source node that fans out like any other stage:
+    # every design's template stream derives from its design_id alone.
+    graph.add_stage("corpus", lambda inputs: config.make_corpus_generator()
+                    .generate(config.n_designs, engine=inputs.engine))
 
     graph.add_stage("stage1", lambda inputs: run_stage1(
         inputs["corpus"], break_rate=config.break_rate,
@@ -240,6 +258,10 @@ def _assemble(config: DatagenConfig, outputs: Dict[str, object]
     stage1, stage2 = outputs["stage1"], outputs["stage2"]
     stage3 = outputs["stage3"]
     _, test = outputs["split"]
+    corpus_families: Dict[str, int] = {}
+    for design in outputs["corpus"]:
+        family = design.meta.family
+        corpus_families[family] = corpus_families.get(family, 0) + 1
 
     bundle = DatasetBundle()
     bundle.verilog_pt = stage1.pt_entries
@@ -251,6 +273,7 @@ def _assemble(config: DatagenConfig, outputs: Dict[str, object]
     ]
     bundle.stats = {
         "n_designs": config.n_designs,
+        "corpus_families": corpus_families,
         "stage1_filtered": stage1.filtered_count,
         "stage1_duplicates": stage1.duplicate_count,
         "stage1_failed_compile": stage1.failed_compile_count,

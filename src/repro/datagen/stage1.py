@@ -226,9 +226,16 @@ def run_stage1(seeds: List[DesignSeed], rng: Optional[random.Random] = None,
     return merge_stage1(unit_results, filtered, duplicates)
 
 
-def generate_stage1(count: int, seed: int = 0,
-                    break_rate: float = 0.25) -> Stage1Result:
-    """Convenience wrapper: generate ``count`` designs and run Stage 1."""
-    generator = CorpusGenerator(seed=seed)
-    seeds = generator.generate(count)
-    return run_stage1(seeds, global_seed=seed + 1, break_rate=break_rate)
+def generate_stage1(count: int, seed: int = 0, break_rate: float = 0.25,
+                    families=None, weights=None,
+                    engine: Optional[ExecutionEngine] = None) -> Stage1Result:
+    """Convenience wrapper: generate ``count`` designs and run Stage 1.
+
+    ``families``/``weights`` select and weight corpus template families;
+    ``engine`` fans both the corpus generation and the per-design Stage-1
+    work out over its worker pool.
+    """
+    generator = CorpusGenerator(seed=seed, families=families, weights=weights)
+    seeds = generator.generate(count, engine=engine)
+    return run_stage1(seeds, global_seed=seed + 1, break_rate=break_rate,
+                      engine=engine)
