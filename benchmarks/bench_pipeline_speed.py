@@ -18,12 +18,18 @@ compile-cache hit rate, speedup, fingerprint equality) so the perf
 trajectory is tracked across PRs.  Each setting is run ``--repeats``
 times from a cold cache and the best time kept.
 
-With ``--baseline <committed BENCH_pipeline.json>`` the run additionally
-acts as a CI regression gate: it exits non-zero when the parallel
-setting's designs/sec falls more than ``--max-regression`` (default 30%)
-below the baseline's.  Absolute rates vary across hosts and scales, so
-the threshold is deliberately loose — it catches order-of-magnitude
-perf bugs, not single-digit drift.
+Two regression gates are available:
+
+- ``--min-speedup X`` (the CI gate): fail unless the parallel setting is
+  at least ``X`` times faster than the serial one *measured in this same
+  run on this same host*.  Serial and parallel share the host, the load
+  and the scale, so the ratio is portable across runner hardware —
+  unlike absolute designs/sec.
+- ``--baseline <committed BENCH_pipeline.json>`` (local trend check):
+  exit non-zero when the parallel setting's designs/sec falls more than
+  ``--max-regression`` (default 30%) below the committed baseline's.
+  Absolute rates vary across hosts, so only compare against a baseline
+  recorded on comparable hardware.
 
 Run:  PYTHONPATH=src python benchmarks/bench_pipeline_speed.py
 """
@@ -100,6 +106,16 @@ def run_bench(n_designs: int = 120, n_workers: int = 4, seed: int = 2025,
     return report
 
 
+def check_speedup(report: dict, min_speedup: float) -> bool:
+    """Same-host relative gate: engine settings must beat the pre-engine
+    serial model by ``min_speedup`` in this very run."""
+    speedup = report["speedup"]
+    verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+    print(f"  speedup gate: {speedup:.3f}x vs required "
+          f"{min_speedup:.2f}x (same host, same run) -> {verdict}")
+    return speedup >= min_speedup
+
+
 def check_regression(report: dict, baseline_path: Path,
                      max_regression: float) -> bool:
     """Compare this run's parallel designs/sec against a committed
@@ -122,6 +138,9 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="required parallel-vs-serial speedup measured "
+                             "in this run (0 disables; the CI gate)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="committed BENCH_pipeline.json to gate against")
     parser.add_argument("--max-regression", type=float, default=0.30,
@@ -133,6 +152,8 @@ def main() -> None:
     if not report["fingerprints_match"]:
         print("  FATAL: serial and parallel fingerprints diverge")
         sys.exit(1)
+    if args.min_speedup > 0 and not check_speedup(report, args.min_speedup):
+        sys.exit(2)
     if args.baseline is not None and not check_regression(
             report, args.baseline, args.max_regression):
         sys.exit(2)

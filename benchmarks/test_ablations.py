@@ -30,7 +30,7 @@ def test_ablation_pt_off(benchmark, pipeline):
 
 
 def test_ablation_dpo_beta_sweep(benchmark, pipeline):
-    bundle = pipeline.run_datagen()
+    pipeline.run_datagen()
     cases = pipeline.build_benchmark().machine
     sft = pipeline.sft_model
 

@@ -24,16 +24,26 @@ the paper on a pure-Python substrate:
   compared in the paper's Table IV.
 - :mod:`repro.eval` — the SVA-Eval benchmark, pass@k metrics and the
   experiment runners that regenerate every table and figure.
+- :mod:`repro.serve` — the online serving layer: an async micro-batching
+  assertion service with content-hash result caching and a load-test
+  harness.
 """
 
-__all__ = ["AssertSolverPipeline", "PipelineConfig"]
-__version__ = "1.0.0"
+_API_EXPORTS = ("AssertSolverPipeline", "PipelineConfig")
+_SERVE_EXPORTS = ("AssertService", "ServeConfig", "SolveOptions",
+                  "SolveRequest")
+__all__ = [*_API_EXPORTS, *_SERVE_EXPORTS]
+__version__ = "1.1.0"
 
 
 def __getattr__(name):
     """Lazy re-exports so importing :mod:`repro` stays cheap."""
-    if name in ("AssertSolverPipeline", "PipelineConfig"):
+    if name in _API_EXPORTS:
         from repro.core import api
 
         return getattr(api, name)
+    if name in _SERVE_EXPORTS:
+        import repro.serve as serve
+
+        return getattr(serve, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import random
 import re
-from typing import List, Optional
+from typing import List
 
 from repro.baselines.profiles import BaselineProfile, case_difficulty, sigmoid
 from repro.bugs.taxonomy import LENGTH_BINS

@@ -12,7 +12,7 @@ are derived structurally from the buggy module:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.bugs.taxonomy import Conditionality, Relation
 from repro.verilog import ast

@@ -83,6 +83,25 @@ class PipelineConfig:
         return ExecutionEngine(n_workers=self.n_workers,
                                backend=self.backend)
 
+    def serve(self, **overrides) -> "ServeConfig":
+        """A :class:`repro.serve.ServeConfig` inheriting this config's
+        execution knobs (workers, backend, caching, seed); keyword
+        overrides win.  ``pipeline.config.serve(max_batch=32)`` is the
+        one-liner from a batch reproduction setup to an online service."""
+        from repro.serve import ServeConfig
+
+        settings = dict(n_workers=self.n_workers, backend=self.backend,
+                        compile_cache=self.compile_cache, seed=self.seed)
+        settings.update(overrides)
+        return ServeConfig(**settings)
+
+    def make_service(self, **overrides) -> "AssertService":
+        """An (unstarted) :class:`repro.serve.AssertService` over
+        :meth:`serve`'s config — start it with ``with`` or `.start()`."""
+        from repro.serve import AssertService
+
+        return AssertService(self.serve(**overrides))
+
     def cache_key(self) -> tuple:
         # Semantic fields only: the execution knobs (n_workers, backend,
         # compile_cache) never change results, so they must not fork the

@@ -12,8 +12,6 @@ from typing import Dict, List, Optional
 
 from repro.bugs.injector import BugRecord
 from repro.bugs.taxonomy import (
-    BugKind,
-    Conditionality,
     Relation,
     length_bin_label,
     length_bin_of,

@@ -39,6 +39,10 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def _warm_noop() -> None:
+    """Top-level (hence picklable) no-op used by :meth:`ExecutionEngine.warm`."""
+
+
 def _call_with_metrics(task: Tuple[Callable, object]):
     """Top-level (hence picklable) unit wrapper: run + counter delta."""
     fn, item = task
@@ -97,6 +101,23 @@ class ExecutionEngine:
                     initializer=self._initializer,
                     initargs=self._initargs)
         return self._pool
+
+    def warm(self) -> None:
+        """Start the worker pool now instead of lazily at the first map.
+
+        Batch runs don't care, but the serving layer does: without this
+        the first request of a cold service pays the whole process-pool
+        spawn (plus initializer) latency.  Executors spawn workers
+        lazily on submit, so constructing the pool is not enough — a
+        round of no-op tasks forces the spawns (and runs the
+        initializer) before any real work arrives.  No-op for serial
+        backends.
+        """
+        pool = self._ensure_pool()
+        if pool is not None:
+            for future in [pool.submit(_warm_noop)
+                           for _ in range(self.n_workers)]:
+                future.result()
 
     def close(self) -> None:
         if self._pool is not None:

@@ -3,7 +3,7 @@ with the published numbers alongside ours where applicable."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.bugs.taxonomy import BUG_TYPE_ORDER, LENGTH_BINS, TABLE1_ROWS, length_bin_label
 from repro.eval.buckets import bucket_pass_at

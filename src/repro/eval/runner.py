@@ -21,7 +21,10 @@ still return exactly the serial outcomes.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import random
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datagen.records import SvaEvalCase
@@ -45,7 +48,6 @@ def semantic_check(response: SolverResponse, case: SvaEvalCase,
                    bmc=None) -> bool:
     """Extension: does the patched design actually pass the bound?"""
     from repro.sva.bmc import BmcConfig, bounded_check
-    from repro.sva.insert import compile_with_sva
     from repro.verilog.compile import compile_source
 
     lines = case.entry.buggy_source_with_sva.splitlines()
@@ -130,9 +132,49 @@ def _score_case(model, case: SvaEvalCase, n: int, seed: int) -> Tuple[int, int]:
     return len(responses), c
 
 
+# -- model transport ----------------------------------------------------------
+#
+# A process-pool run used to pickle the model object graph once per chunk
+# (workers * 4 times per model); for large checkpoints the serialization
+# dominated the fan-out cost.  Now the model is pickled exactly once per
+# evaluate_model call and the same immutable blob rides along with every
+# chunk (re-sending bytes is a buffer copy, not a graph walk); each
+# worker deserializes it once, verifies the content digest, and memoizes
+# it, so later chunks on the same worker skip deserialization too.
+
+_WORKER_MODEL_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_WORKER_MODEL_CACHE_MAX = 4
+
+
+def _model_payload(model) -> Tuple[bytes, str]:
+    """Serialize once; the digest doubles as transfer checksum and
+    worker-side cache key."""
+    blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    return blob, hashlib.sha256(blob).hexdigest()
+
+
+def _resolve_model(model, digest: Optional[str]):
+    """The in-process model, or the cached/deserialized blob in a worker."""
+    if digest is None:
+        return model
+    cached = _WORKER_MODEL_CACHE.get(digest)
+    if cached is not None:
+        _WORKER_MODEL_CACHE.move_to_end(digest)
+        return cached
+    blob = model
+    if hashlib.sha256(blob).hexdigest() != digest:
+        raise RuntimeError("model blob fingerprint changed in transit")
+    resolved = pickle.loads(blob)
+    _WORKER_MODEL_CACHE[digest] = resolved
+    while len(_WORKER_MODEL_CACHE) > _WORKER_MODEL_CACHE_MAX:
+        _WORKER_MODEL_CACHE.popitem(last=False)
+    return resolved
+
+
 def _eval_chunk(payload) -> List[Tuple[int, int]]:
     """Worker task: score a contiguous chunk of cases with one model copy."""
-    model, chunk, n, seed = payload
+    model, digest, chunk, n, seed = payload
+    model = _resolve_model(model, digest)
     return [_score_case(model, case, n, seed) for case in chunk]
 
 
@@ -150,13 +192,26 @@ def evaluate_model(model, cases: Iterable[SvaEvalCase], n: int = 20,
     if engine is not None and engine.parallel and len(cases) > 1:
         chunk_size = max(1, (len(cases) + engine.n_workers * 4 - 1)
                          // (engine.n_workers * 4))
-        payloads = [(model, cases[i:i + chunk_size], n, seed)
+        if engine.backend == "process":
+            # One serialization per run, shared by every chunk; workers
+            # deserialize and memoize by digest (thread backend shares
+            # the live object and needs none of this).
+            transport, digest = _model_payload(model)
+        else:
+            transport, digest = model, None
+        payloads = [(transport, digest, cases[i:i + chunk_size], n, seed)
                     for i in range(0, len(cases), chunk_size)]
         # engine.map preserves input order, so the contiguous chunks
         # flatten straight back into case order.
         scores = [score for chunk in
                   engine.map(_eval_chunk, payloads, stage="evaluate")
                   for score in chunk]
+        if digest is not None:
+            _, digest_after = _model_payload(model)
+            if digest_after != digest:
+                raise RuntimeError(
+                    "model fingerprint changed across evaluate_model: "
+                    "evaluation must not mutate the model")
     else:
         scores = [_score_case(model, case, n, seed) for case in cases]
     outcomes = [CaseOutcome(case, total, c)

@@ -16,10 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.bugs.mutators import enumerate_mutations
 from repro.verilog import ast
 from repro.verilog.parser import parse_module
-from repro.verilog.writer import write_module
 
 
 class RepairCandidate:

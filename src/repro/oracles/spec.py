@@ -12,7 +12,6 @@ from typing import Optional
 
 from repro.corpus.meta import TemplateMeta
 from repro.verilog.compile import compile_source
-from repro.verilog.errors import Diagnostic
 
 
 def write_spec(source: str, meta: Optional[TemplateMeta] = None,

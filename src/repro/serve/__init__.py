@@ -1,0 +1,60 @@
+"""The online serving layer: request/response assertion generation.
+
+Where :mod:`repro.datagen` regenerates whole datasets, this package
+serves one design at a time with low latency and amortizes work across
+concurrent traffic:
+
+- :mod:`repro.serve.service` — :class:`AssertService`: bounded request
+  queue with backpressure, content-addressed deterministic solves,
+  structured errors for malformed input;
+- :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces
+  in-flight requests into one engine map per batch window (flush on
+  size or timeout), deduplicating identical designs;
+- :mod:`repro.serve.cache` — :class:`ResultCache`: content-hash LRU of
+  finished responses, so repeat designs skip compute entirely;
+- :mod:`repro.serve.loadgen` — deterministic corpus-sampled request
+  streams and a latency/throughput harness (p50/p95, req/s) feeding
+  ``benchmarks/bench_serve.py``.
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.cache import ResultCache, content_key
+from repro.serve.loadgen import (
+    LoadReport,
+    WorkloadSpec,
+    build_workload,
+    run_load,
+)
+from repro.serve.service import (
+    AssertService,
+    ScoredProposal,
+    ServeConfig,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceStats,
+    SolveOptions,
+    SolveRequest,
+    SolveResponse,
+    solve_task,
+)
+
+__all__ = [
+    "AssertService",
+    "BatcherStats",
+    "LoadReport",
+    "MicroBatcher",
+    "ResultCache",
+    "ScoredProposal",
+    "ServeConfig",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "SolveOptions",
+    "SolveRequest",
+    "SolveResponse",
+    "WorkloadSpec",
+    "build_workload",
+    "content_key",
+    "run_load",
+    "solve_task",
+]

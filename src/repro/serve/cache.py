@@ -1,0 +1,90 @@
+"""Content-hash LRU result cache for the serving layer.
+
+Keyed exactly like :class:`repro.verilog.compile.CompileCache` — a SHA-256
+content hash — but over the *request* (design source + canonical solve
+options) and holding finished :class:`repro.serve.service.SolveResponse`
+objects, so a repeat design is served without recompiling or re-running
+the bounded checker at all.
+
+Responses are deterministic functions of the request (every RNG stream
+derives from the request's content hash), so serving a cached response is
+byte-identical to recomputing it — asserted by the test suite and the
+serve bench.  Cached responses are shared objects: treat them as
+immutable, exactly like cached :class:`CompileResult` objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+def content_key(*parts: str) -> str:
+    """SHA-256 over length-prefixed parts (no separator collisions)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        data = part.encode("utf-8")
+        digest.update(str(len(data)).encode("ascii"))
+        digest.update(b":")
+        digest.update(data)
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe content-hash LRU of solve responses.
+
+    Counters are monotonic (like :class:`CompileCache`'s) so deltas
+    between snapshots are meaningful; they surface in
+    :class:`repro.serve.service.ServiceStats`.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[object]:
+        """The cached response for ``key``, counting a hit or a miss."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ResultCache({len(self._entries)}/{self.max_entries} "
+                f"entries, {self.hits} hits, {self.misses} misses)")

@@ -1,0 +1,197 @@
+"""Deterministic load generation for the serving layer.
+
+``build_workload`` replays the same request stream for a given spec on
+every host and every run: the design pool comes from the corpus
+generator (per-design derived seeds) and the stream's sampling RNG
+derives via :func:`repro.engine.rng.derive_seed` — so benches compare
+*service* behaviour, never workload noise.  Streams deliberately sample
+a small unique pool with repeats, the shape real serving traffic has
+(many users, few distinct hot designs).
+
+``run_load`` drives a service with a fixed client concurrency, measures
+per-request latency from ``submit()`` to ``Future.result()``, honours
+backpressure (an overloaded queue is retried with a short pause, and
+counted), and reports p50/p95/max latency plus requests/sec in a
+:class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.generator import CorpusGenerator
+from repro.engine.rng import derive_rng, derive_seed
+from repro.serve.service import (
+    AssertService,
+    ServiceOverloaded,
+    SolveOptions,
+    SolveRequest,
+    SolveResponse,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a deterministic request stream."""
+
+    n_requests: int = 64
+    unique_designs: int = 8
+    seed: int = 2025
+    families: Optional[Tuple[str, ...]] = None
+    hallucination_rate: float = 0.0
+    bmc_depth: int = 10
+    bmc_random_trials: int = 24
+
+    def validate(self) -> None:
+        for name in ("n_requests", "unique_designs"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError(
+                    f"{name} must be an integer >= 1, got {value!r}")
+
+
+def build_workload(spec: WorkloadSpec) -> List[SolveRequest]:
+    """The spec's request stream — identical for equal specs, anywhere.
+
+    Each request carries the sampled design's template hints (standing in
+    for upstream LLM proposals) so the service exercises its full
+    validate-and-score path.
+    """
+    spec.validate()
+    generator = CorpusGenerator(
+        seed=derive_seed(spec.seed, "loadgen", "corpus") % (2 ** 32),
+        families=spec.families)
+    pool = generator.generate(spec.unique_designs)
+    options = [SolveOptions.for_design(
+        design,
+        hallucination_rate=spec.hallucination_rate,
+        bmc_depth=spec.bmc_depth,
+        bmc_random_trials=spec.bmc_random_trials) for design in pool]
+    stream = derive_rng(spec.seed, "loadgen", "stream")
+    requests = []
+    for i in range(spec.n_requests):
+        pick = stream.randrange(spec.unique_designs)
+        requests.append(SolveRequest(pool[pick].source, options[pick],
+                                     request_id=f"req_{i:05d}"))
+    return requests
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending list (0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """One load run's outcome (latencies in milliseconds)."""
+
+    label: str
+    n_requests: int
+    concurrency: int
+    seconds: float
+    req_per_sec: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+    errors: int
+    backpressure_retries: int
+    responses: List[SolveResponse] = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"label": self.label, "n_requests": self.n_requests,
+                "concurrency": self.concurrency,
+                "seconds": round(self.seconds, 4),
+                "req_per_sec": round(self.req_per_sec, 3),
+                "p50_ms": round(self.p50_ms, 3),
+                "p95_ms": round(self.p95_ms, 3),
+                "max_ms": round(self.max_ms, 3),
+                "errors": self.errors,
+                "backpressure_retries": self.backpressure_retries}
+
+
+def _submit_with_backoff(service: AssertService, request: SolveRequest,
+                         retry_wait_s: float) -> Tuple[object, int]:
+    """Submit, retrying on backpressure; returns (future, retries)."""
+    retries = 0
+    while True:
+        try:
+            return service.submit(request), retries
+        except ServiceOverloaded:
+            retries += 1
+            time.sleep(retry_wait_s)
+
+
+def run_load(service: AssertService, requests: List[SolveRequest],
+             concurrency: int = 1, label: str = "load",
+             timeout_s: float = 300.0,
+             retry_wait_s: float = 0.002) -> LoadReport:
+    """Drive ``service`` with ``concurrency`` synchronous clients.
+
+    ``concurrency=1`` is the sequential one-request-at-a-time baseline
+    (no request ever has a batchmate); higher values model that many
+    users awaiting responses at once, which is what gives the
+    micro-batcher coalescing opportunities.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    service.start()
+    latencies_ms: List[float] = [0.0] * len(requests)
+    responses: List[Optional[SolveResponse]] = [None] * len(requests)
+    errors = 0
+    total_retries = 0
+
+    def client(index: int) -> int:
+        started = time.perf_counter()
+        future, retries = _submit_with_backoff(service, requests[index],
+                                               retry_wait_s)
+        response = future.result(timeout=timeout_s)
+        latencies_ms[index] = (time.perf_counter() - started) * 1000.0
+        responses[index] = response
+        return retries
+
+    run_started = time.perf_counter()
+    if concurrency == 1:
+        for i in range(len(requests)):
+            try:
+                total_retries += client(i)
+            except Exception:  # noqa: BLE001 - load test records, not raises
+                errors += 1
+    else:
+        with ThreadPoolExecutor(max_workers=concurrency,
+                                thread_name_prefix=f"{label}-client") as pool:
+            for outcome in pool.map(_guarded(client), range(len(requests))):
+                if outcome is None:
+                    errors += 1
+                else:
+                    total_retries += outcome
+    seconds = time.perf_counter() - run_started
+
+    ordered = sorted(lat for lat, resp in zip(latencies_ms, responses)
+                     if resp is not None)
+    return LoadReport(
+        label=label, n_requests=len(requests), concurrency=concurrency,
+        seconds=seconds,
+        req_per_sec=(len(requests) / seconds) if seconds > 0 else 0.0,
+        p50_ms=percentile(ordered, 0.50),
+        p95_ms=percentile(ordered, 0.95),
+        max_ms=ordered[-1] if ordered else 0.0,
+        errors=errors, backpressure_retries=total_retries,
+        responses=list(responses))
+
+
+def _guarded(fn):
+    """None on exception — pool.map must outlive individual failures."""
+    def wrapper(index):
+        try:
+            return fn(index)
+        except Exception:  # noqa: BLE001
+            return None
+    return wrapper

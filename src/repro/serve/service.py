@@ -1,0 +1,609 @@
+"""AssertService: async request serving for assertion generation.
+
+The batch pipeline answers "regenerate the whole paper"; this module
+answers "here is one design, give me validated SVAs *now*" — the
+request/response layer the ROADMAP's serving goal needs:
+
+- :class:`SolveRequest` carries raw design source plus
+  :class:`SolveOptions` (hint list, mining, hallucination rate, BMC
+  budget).  Requests are content-addressed: every RNG stream the solve
+  consumes derives from the request's SHA-256 key, so identical requests
+  produce byte-identical responses no matter when, where, or in which
+  batch they run.
+- :meth:`AssertService.submit` enqueues onto a *bounded* queue and
+  returns a ``Future``; a full queue raises :class:`ServiceOverloaded`
+  immediately (backpressure — the caller sheds load or retries) instead
+  of letting latency grow without bound.
+- A :class:`repro.serve.batcher.MicroBatcher` consumer coalesces
+  in-flight requests; each flush dedups them by content key, serves
+  repeats from the :class:`repro.serve.cache.ResultCache`, and fans the
+  remaining unique work units out over one
+  :meth:`repro.engine.ExecutionEngine.map` call — workers share the
+  process-wide compile cache, and each unit scores all of a design's
+  proposals with one ``bounded_check_batch``-backed validation pass.
+- :class:`ServiceStats` surfaces every counter an operator needs:
+  queue/backpressure, batch shapes, cache hits, dedup wins, errors.
+
+Malformed Verilog never crashes a worker: a request that does not
+compile resolves to a structured ``compile_error`` response carrying the
+compiler's diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
+from repro.engine import BACKENDS, ExecutionEngine, derive_rng
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache, content_key
+from repro.sva.bmc import BmcConfig
+from repro.sva.mine import mine_invariant_hints
+from repro.verilog.compile import compile_source, configure_compile_cache
+
+#: A hint as it travels inside a request: hashable, picklable, canonical.
+#: ``(name, consequent, antecedent, delay, message)`` mirrors
+#: :class:`SvaHint`'s constructor.
+HintTuple = Tuple[str, str, Optional[str], int, str]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The bounded request queue is full; retry later or shed load."""
+
+
+class ServiceClosed(RuntimeError):
+    """submit() after close()."""
+
+
+def hint_to_tuple(hint: SvaHint) -> HintTuple:
+    return (hint.name, hint.consequent, hint.antecedent, hint.delay,
+            hint.message)
+
+
+def hint_from_tuple(data: Sequence) -> SvaHint:
+    name, consequent, antecedent, delay, message = data
+    return SvaHint(name, consequent, antecedent=antecedent, delay=int(delay),
+                   message=message)
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Per-request knobs; part of the request's content key.
+
+    ``hints`` feeds the oracle known-plausible properties (the loadgen
+    fills it from corpus template metadata, standing in for an upstream
+    LLM's raw proposals); with no hints and ``mine_hints=True`` the
+    service mines candidates from the design structure instead.  Either
+    way every proposal is re-validated with the bounded checker before it
+    is served.
+    """
+
+    hints: Tuple[HintTuple, ...] = ()
+    mine_hints: bool = True
+    max_proposals: int = 8
+    hallucination_rate: float = 0.0
+    bmc_depth: int = 10
+    bmc_random_trials: int = 24
+
+    @classmethod
+    def for_design(cls, design: DesignSeed, **overrides) -> "SolveOptions":
+        """Options carrying the design's template hints."""
+        hints = tuple(hint_to_tuple(h) for h in design.meta.sva_hints)
+        return cls(hints=hints, **overrides)
+
+    def validate(self) -> None:
+        for hint in self.hints:
+            try:
+                parts = tuple(hint)
+            except TypeError:
+                parts = ()
+            if len(parts) != 5:
+                raise ValueError(f"hint tuples are (name, consequent, "
+                                 f"antecedent, delay, message), got {hint!r}")
+            name, consequent, antecedent, delay, message = parts
+            if not (isinstance(name, str) and isinstance(consequent, str)
+                    and isinstance(message, str)
+                    and (antecedent is None or isinstance(antecedent, str))
+                    and isinstance(delay, int)
+                    and not isinstance(delay, bool)):
+                raise ValueError(f"malformed hint tuple: {hint!r}")
+        if not isinstance(self.max_proposals, int) \
+                or isinstance(self.max_proposals, bool) \
+                or self.max_proposals < 1:
+            raise ValueError(f"max_proposals must be an integer >= 1, "
+                             f"got {self.max_proposals!r}")
+        if not 0.0 <= self.hallucination_rate <= 1.0:
+            raise ValueError(f"hallucination_rate must be in [0, 1], "
+                             f"got {self.hallucination_rate!r}")
+        for name, minimum in (("bmc_depth", 1), ("bmc_random_trials", 0)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ValueError(
+                    f"{name} must be an integer >= {minimum}, got {value!r}")
+
+    def canonical(self) -> str:
+        """Stable text rendering, hashed into the request key."""
+        return json.dumps({
+            "hints": [list(h) for h in self.hints],
+            "mine_hints": self.mine_hints,
+            "max_proposals": self.max_proposals,
+            "hallucination_rate": self.hallucination_rate,
+            "bmc_depth": self.bmc_depth,
+            "bmc_random_trials": self.bmc_random_trials,
+        }, sort_keys=True)
+
+    def hint_objects(self) -> List[SvaHint]:
+        return [hint_from_tuple(h) for h in self.hints]
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One unit of service traffic.
+
+    ``request_id`` is a client-side tag for tracing; it is *not* part of
+    the content key, so differently-tagged repeats still share cache
+    entries and batch dedup.
+    """
+
+    design_source: str
+    options: SolveOptions = field(default_factory=SolveOptions)
+    request_id: str = ""
+
+    def cache_key(self) -> str:
+        return content_key(self.design_source, self.options.canonical())
+
+
+class ScoredProposal:
+    """One validated assertion, ready to insert into the design."""
+
+    __slots__ = ("name", "property_text", "assertion_text", "score", "origin")
+
+    def __init__(self, name: str, property_text: str, assertion_text: str,
+                 score: float, origin: str):
+        self.name = name
+        self.property_text = property_text
+        self.assertion_text = assertion_text
+        self.score = score
+        self.origin = origin  # "hint" | "mined"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "property": self.property_text,
+                "assertion": self.assertion_text, "score": self.score,
+                "origin": self.origin}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ScoredProposal({self.name}, score={self.score})"
+
+
+class SolveResponse:
+    """The deterministic result of one solve.
+
+    ``status`` is ``"ok"`` or ``"compile_error"``; a compile error
+    carries the compiler's diagnostics in ``error`` (structured failure,
+    not a crashed worker).  ``request_key`` echoes the request's content
+    key (design source + canonical options) so clients can correlate
+    responses with submissions.  Deliberately carries no timing or host
+    fields: identical requests must serialize to identical bytes
+    (:meth:`to_json`), which is what makes result caching sound.
+    """
+
+    __slots__ = ("status", "request_key", "proposals", "rejected", "error")
+
+    def __init__(self, status: str, request_key: str,
+                 proposals: Tuple[ScoredProposal, ...] = (),
+                 rejected: int = 0, error: str = ""):
+        self.status = status
+        self.request_key = request_key
+        self.proposals = proposals
+        self.rejected = rejected
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "status": self.status,
+            "request_key": self.request_key,
+            "proposals": [p.to_dict() for p in self.proposals],
+            "rejected": self.rejected,
+            "error": self.error,
+        }, sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self.ok:
+            return f"SolveResponse({self.status})"
+        return (f"SolveResponse(ok, {len(self.proposals)} proposals, "
+                f"{self.rejected} rejected)")
+
+
+# -- the per-request work unit (module-level: picklable for process pools) ----
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """Everything one worker needs to solve one unique request."""
+
+    key: str
+    design_source: str
+    options: SolveOptions
+    seed: int
+
+
+def _score_hint(hint: SvaHint, design_signals: frozenset) -> float:
+    """Deterministic quality proxy: signal coverage + temporal depth."""
+    covered = len(set(hint.signals()) & design_signals)
+    coverage = covered / max(1, len(design_signals))
+    temporal = 0.2 if hint.antecedent is not None else 0.0
+    return round(min(1.0, 0.2 + 0.6 * coverage + temporal), 4)
+
+
+def solve_task(task: SolveTask) -> SolveResponse:
+    """Compile, propose, validate, score — one request end to end.
+
+    Every random draw derives from ``(seed, "serve", key, ...)``, so the
+    response is a pure function of the task: reorderable across batches,
+    workers and backends, and safely cacheable by content key.
+    """
+    from repro.datagen.stage2 import validate_svas
+    from repro.oracles.sva import SvaOracle
+
+    options = task.options
+    compiled = compile_source(task.design_source)
+    if not compiled.ok:
+        return SolveResponse("compile_error", task.key,
+                             error=compiled.failure_summary())
+
+    hints = options.hint_objects()
+    origin = "hint"
+    if not hints and options.mine_hints:
+        hints = mine_invariant_hints(compiled.design,
+                                     limit=options.max_proposals)
+        origin = "mined"
+    hints = hints[:options.max_proposals]
+    if not hints:
+        return SolveResponse("ok", task.key)
+
+    seed_like = DesignSeed(
+        "serve_design", task.design_source,
+        TemplateMeta("serve", {}, "served design", [], hints))
+    oracle = SvaOracle(derive_rng(task.seed, "serve", task.key, "oracle"),
+                       hallucination_rate=options.hallucination_rate)
+    proposals = oracle.propose(seed_like)
+    bmc = BmcConfig(depth=options.bmc_depth,
+                    random_trials=options.bmc_random_trials,
+                    seed=task.seed)
+    valid, rejected = validate_svas(seed_like, proposals, bmc, mode="batched")
+
+    design_signals = frozenset(compiled.design.symbols)
+    scored = [ScoredProposal(p.name, p.property_text, p.assertion_text,
+                             _score_hint(p.hint, design_signals), origin)
+              for p in valid]
+    scored.sort(key=lambda p: (-p.score, p.name))
+    return SolveResponse("ok", task.key, proposals=tuple(scored),
+                         rejected=rejected)
+
+
+# -- configuration -------------------------------------------------------------
+
+
+@dataclass
+class ServeConfig:
+    """Capacity and execution knobs for one :class:`AssertService`.
+
+    Mirrors :class:`repro.datagen.pipeline.DatagenConfig`'s style: a
+    validated dataclass whose execution knobs (workers, backend, caches,
+    batching) never change responses — only how fast they arrive.
+    """
+
+    n_workers: int = 1
+    backend: str = "auto"
+    max_queue: int = 256
+    max_batch: int = 16
+    batch_window_ms: float = 10.0
+    result_cache: bool = True
+    cache_entries: int = 1024
+    compile_cache: bool = True
+    compile_cache_size: int = 4096
+    seed: int = 2025
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        for name, minimum in (("n_workers", 1), ("max_queue", 1),
+                              ("max_batch", 1), ("cache_entries", 1),
+                              ("compile_cache_size", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ValueError(
+                    f"{name} must be an integer >= {minimum}, got {value!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if not isinstance(self.batch_window_ms, (int, float)) \
+                or isinstance(self.batch_window_ms, bool) \
+                or self.batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be a number >= 0, "
+                             f"got {self.batch_window_ms!r}")
+
+    def make_engine(self) -> ExecutionEngine:
+        """Worker pool whose subprocesses inherit the compile-cache knobs."""
+        return ExecutionEngine(
+            n_workers=self.n_workers, backend=self.backend,
+            initializer=configure_compile_cache,
+            initargs=(self.compile_cache, self.compile_cache_size))
+
+
+@dataclass
+class ServiceStats:
+    """One consistent snapshot of every service counter."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    solved: int = 0
+    deduped: int = 0
+    compile_errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_entries: int = 0
+    cache_hit_rate: float = 0.0
+    batches: int = 0
+    batched_requests: int = 0
+    mean_batch: float = 0.0
+    max_batch: int = 0
+    flush_size: int = 0
+    flush_timeout: int = 0
+    flush_drain: int = 0
+    queue_depth: int = 0
+    backend: str = "serial"
+    n_workers: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+class AssertService:
+    """Bounded-queue, micro-batched assertion service.
+
+    Lifecycle::
+
+        with AssertService(ServeConfig(n_workers=4)) as service:
+            future = service.submit(SolveRequest(source))
+            response = future.result()
+
+    ``submit`` may be called before :meth:`start`; requests queue up (and
+    exert backpressure) until the consumer starts draining.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_queue)
+        self._cache = (ResultCache(self.config.cache_entries)
+                       if self.config.result_cache else None)
+        self._engine: Optional[ExecutionEngine] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._errors = 0
+        self._solved = 0
+        self._deduped = 0
+        self._compile_errors = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AssertService":
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if self._batcher is not None:
+            return self
+        self._engine = self.config.make_engine()
+        self._engine.warm()  # pool startup off the first request's latency
+        self._batcher = MicroBatcher(
+            self._queue, self._flush, max_batch=self.config.max_batch,
+            window_s=self.config.batch_window_ms / 1000.0)
+        self._batcher.start()
+        return self
+
+    def close(self) -> None:
+        """Drain accepted requests, then release the worker pool.
+
+        Requests the consumer never reached — enqueued before
+        :meth:`start`, or racing past the ``_closed`` check behind the
+        batcher's stop sentinel — get their futures failed with
+        :class:`ServiceClosed` rather than left to hang a client."""
+        with self._lock:
+            # Flipped under the same lock submit() holds for its check:
+            # once this block exits, no new request can enter the queue,
+            # so the drain below is complete, not best-effort.
+            if self._closed:
+                return
+            self._closed = True
+        if self._batcher is not None:
+            self._batcher.stop()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, tuple):
+                _, future = item
+                if not future.done():
+                    future.set_exception(ServiceClosed(
+                        "service closed before the request was served"))
+                    with self._lock:
+                        self._errors += 1
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "AssertService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request path --------------------------------------------------------
+
+    def _coerce(self, request: Union[SolveRequest, str]) -> SolveRequest:
+        if isinstance(request, str):
+            request = SolveRequest(request)
+        request.options.validate()
+        return request
+
+    def submit(self, request: Union[SolveRequest, str]) -> "Future":
+        """Enqueue one request; the future resolves to a SolveResponse.
+
+        Raises :class:`ServiceOverloaded` when the bounded queue is full
+        and :class:`ServiceClosed` after :meth:`close`.
+        """
+        request = self._coerce(request)
+        future: "Future" = Future()
+        # Atomic closed-check + enqueue (put_nowait never blocks, so
+        # holding the lock is safe): a submit can therefore never land
+        # behind close()'s stop sentinel and be silently stranded.
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            try:
+                self._queue.put_nowait((request, future))
+            except queue.Full:
+                self._rejected += 1
+                raise ServiceOverloaded(
+                    f"request queue full ({self.config.max_queue} pending)"
+                ) from None
+            self._submitted += 1
+        return future
+
+    def solve(self, request: Union[SolveRequest, str],
+              timeout: Optional[float] = None) -> SolveResponse:
+        """Synchronous convenience: submit and wait."""
+        if self._batcher is None:
+            self.start()
+        return self.submit(request).result(timeout)
+
+    # -- batch flush (batcher thread) ----------------------------------------
+
+    def _flush(self, batch: List[Tuple[SolveRequest, "Future"]],
+               reason: str) -> None:
+        """Serve one batch.  Must resolve every future, success or not:
+        a stranded future hangs its client forever, which is worse than
+        any error it could carry."""
+        try:
+            self._flush_inner(batch)
+        except BaseException as exc:  # noqa: BLE001
+            unresolved = 0
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+                    unresolved += 1
+            with self._lock:
+                self._errors += unresolved
+            raise  # let the batcher count the flush error too
+
+    def _flush_inner(self, batch: List[Tuple[SolveRequest, "Future"]]) -> None:
+        # Group by content key: duplicates in one window are solved once.
+        groups: "OrderedDict[str, List]" = OrderedDict()
+        requests: Dict[str, SolveRequest] = {}
+        for request, future in batch:
+            key = request.cache_key()
+            groups.setdefault(key, []).append(future)
+            requests.setdefault(key, request)
+
+        misses: List[str] = []
+        hit_futures = 0
+        for key in groups:
+            cached = self._cache.get(key) if self._cache is not None else None
+            if cached is not None:
+                # Resolve hits now: a microsecond lookup must not wait
+                # behind the batch's slowest cache-miss solve.
+                for future in groups[key]:
+                    future.set_result(cached)
+                hit_futures += len(groups[key])
+            else:
+                misses.append(key)
+
+        dedup_extra = len(batch) - len(groups)
+        tasks = [SolveTask(key=key,
+                           design_source=requests[key].design_source,
+                           options=requests[key].options,
+                           seed=self.config.seed)
+                 for key in misses]
+        try:
+            results = (self._engine.map(solve_task, tasks, stage="serve")
+                       if tasks else [])
+        except BaseException as exc:  # noqa: BLE001 - fail futures, not thread
+            for key in misses:
+                for future in groups[key]:
+                    future.set_exception(exc)
+            with self._lock:
+                self._errors += sum(len(groups[k]) for k in misses)
+                self._completed += hit_futures
+                self._deduped += dedup_extra
+            return
+
+        compile_errors = 0
+        for key, response in zip(misses, results):
+            if self._cache is not None:
+                self._cache.put(key, response)
+            if not response.ok:
+                compile_errors += 1
+            for future in groups[key]:
+                future.set_result(response)
+        with self._lock:
+            self._completed += len(batch)
+            self._solved += len(tasks)
+            self._deduped += dedup_extra
+            self._compile_errors += compile_errors
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time snapshot of the service counters.
+
+        Counter fields are individually monotonic, but batcher/cache
+        counters are read without pausing their writer threads, so
+        derived ratios (``mean_batch``, ``cache_hit_rate``) can lag an
+        in-flight request by one update."""
+        stats = ServiceStats()
+        with self._lock:
+            stats.submitted = self._submitted
+            stats.completed = self._completed
+            stats.rejected = self._rejected
+            stats.errors = self._errors
+            stats.solved = self._solved
+            stats.deduped = self._deduped
+            stats.compile_errors = self._compile_errors
+        if self._cache is not None:
+            stats.cache_hits = self._cache.hits
+            stats.cache_misses = self._cache.misses
+            stats.cache_entries = len(self._cache)
+            stats.cache_hit_rate = round(self._cache.hit_rate, 4)
+        if self._batcher is not None:
+            snap = self._batcher.stats.snapshot()
+            stats.batches = snap["batches"]
+            stats.batched_requests = snap["items"]
+            stats.mean_batch = snap["mean_batch"]
+            stats.max_batch = snap["max_batch"]
+            stats.flush_size = snap["flush_reasons"]["size"]
+            stats.flush_timeout = snap["flush_reasons"]["timeout"]
+            stats.flush_drain = snap["flush_reasons"]["drain"]
+        stats.queue_depth = self._queue.qsize()
+        if self._engine is not None:
+            stats.backend = self._engine.backend
+            stats.n_workers = self._engine.n_workers
+        return stats

@@ -9,6 +9,10 @@ Two checking modes over the same property subset:
   space (exhaustive when small, directed + random otherwise) for a
   counterexample trace (the "formal" role the paper fills with SymbiYosys).
 
+:mod:`repro.sva.mine` additionally mines candidate invariants from a
+design's continuous assignments, so the serving layer can propose
+assertions for raw sources that carry no template hints.
+
 The property subset is the temporal layer parsed by
 :mod:`repro.verilog.parser`: boolean expressions (including ``$past``,
 ``$rose``, ``$fell``, ``$stable``), ``##N`` / ``##[m:n]`` delays,
@@ -18,6 +22,7 @@ The property subset is the temporal layer parsed by
 
 from repro.sva.monitor import AssertionFailure, check_assertions, check_trace
 from repro.sva.bmc import BmcConfig, BmcResult, bounded_check
+from repro.sva.mine import mine_invariant_hints
 
 __all__ = [
     "AssertionFailure",
@@ -26,4 +31,5 @@ __all__ = [
     "BmcConfig",
     "BmcResult",
     "bounded_check",
+    "mine_invariant_hints",
 ]

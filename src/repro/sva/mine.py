@@ -1,0 +1,60 @@
+"""Structural hint mining for hint-less designs.
+
+The serving layer accepts raw Verilog with no template metadata, so it has
+no :class:`SvaHint` list for the oracle to propose from.  This module
+mines candidate invariants directly from the elaborated design: every
+simple continuous assignment ``assign y = <expr>;`` yields the candidate
+property ``y == (<expr>)`` — a combinational equality that holds at every
+clock sample on the golden design.  Mined candidates go through exactly
+the same validation as oracle proposals (insert, compile, bounded check),
+so a candidate the checker cannot confirm is dropped, never served.
+
+Mining is deliberately conservative: it requires the corpus clock/reset
+convention (``clk``/``rst_n`` signals) because the rendered properties
+are clocked on ``posedge clk`` and disabled under ``!rst_n``; designs
+outside the convention simply mine zero hints.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.corpus.meta import SvaHint
+from repro.verilog import ast
+from repro.verilog.elaborator import Design
+from repro.verilog.writer import write_expr
+
+#: The clock/reset naming convention the rendered properties assume.
+CLOCK_NAME = "clk"
+RESET_NAME = "rst_n"
+
+
+def mine_invariant_hints(design: Design, limit: int = 8) -> List[SvaHint]:
+    """Candidate invariants from simple continuous assignments.
+
+    Returns at most ``limit`` hints in source order.  Candidates are
+    *plausible*, not guaranteed: the caller must validate them with the
+    bounded checker exactly like oracle proposals.
+    """
+    symbols = design.symbols
+    if CLOCK_NAME not in symbols or RESET_NAME not in symbols:
+        return []
+    hints: List[SvaHint] = []
+    for assign in design.assigns:
+        if len(hints) >= limit:
+            break
+        target = assign.target
+        if not isinstance(target, ast.Ident):
+            continue  # bit/part-select and concat targets: skip
+        name = target.name
+        if name in (CLOCK_NAME, RESET_NAME):
+            continue
+        reads = set(ast.collect_idents(assign.value))
+        if CLOCK_NAME in reads:
+            continue  # clock-dependent expressions are not invariants
+        expr_text = write_expr(assign.value)
+        hints.append(SvaHint(
+            f"mined_{name}_def",
+            consequent=f"{name} == ({expr_text})",
+            message=f"{name} must track its combinational definition"))
+    return hints

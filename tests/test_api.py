@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.api import AssertSolverPipeline, PipelineConfig
 from repro.eval.histogram import extremity_mass
-from repro.eval.runner import evaluate_model
 
 
 @pytest.fixture(scope="module")

@@ -2,9 +2,6 @@
 
 import random
 
-import pytest
-from hypothesis import given, settings, strategies as st
-
 from repro.bugs.classify import (
     assertion_expr_signals,
     classify_conditionality,
@@ -70,9 +67,6 @@ class TestMutators:
         assert changed > 40  # nearly all candidates are real edits
 
     def test_repair_only_ops_flagged(self, corpus_samples):
-        module = parse_module(corpus_samples[0].source)
-        ops = {c.op_name for c in enumerate_mutations(module)
-               if c.repair_only}
         # At least the deletion-style repair must be present somewhere in
         # the corpus sample set.
         all_ops = set()

@@ -1,13 +1,10 @@
 """Evaluation layer: pass@k estimator properties, runner, buckets, reports."""
 
-import math
-import random
-
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.baselines.engine import BaselineModel, make_baseline
-from repro.baselines.profiles import BASELINE_PROFILES, case_difficulty, get_profile
+from repro.baselines.engine import make_baseline
+from repro.baselines.profiles import case_difficulty, get_profile
 from repro.eval.buckets import bucket_pass_at, bug_type_buckets, length_buckets
 from repro.eval.histogram import extremity_mass, histogram_series
 from repro.eval.passk import aggregate_pass_at_k, pass_at_k
@@ -119,6 +116,76 @@ class TestRunner:
         result = evaluate_model(sft, cases, n=6)
         assert result.pass_at_origin(1, "machine") >= 0.0
         assert result.pass_at_origin(1, "human") >= 0.0
+
+
+class SerializationCountingModel:
+    """Picklable model that records how often it is serialized.
+
+    The count lives on the class, so only parent-process pickling is
+    observed (workers re-import the class with a fresh counter).
+    """
+
+    pickle_count = 0
+    name = "SerializationCounter"
+
+    def generate_case(self, case, n):
+        from repro.model.assertsolver import SolverResponse
+
+        return [SolverResponse(case.record.line, case.record.buggy_line,
+                               case.record.fixed_line) for _ in range(n)]
+
+    def __getstate__(self):
+        type(self).pickle_count += 1
+        return {}
+
+    def __setstate__(self, state):
+        pass
+
+
+class TestModelTransport:
+    """evaluate_model must serialize the model once per run, not per chunk."""
+
+    def test_process_run_pickles_model_once(self, small_bundle):
+        from repro.engine import ExecutionEngine
+
+        cases = small_bundle.sva_eval_machine
+        assert len(cases) > 1
+        model = SerializationCountingModel()
+        SerializationCountingModel.pickle_count = 0
+        serial = evaluate_model(model, cases, n=4, seed=9)
+        assert SerializationCountingModel.pickle_count == 0
+        with ExecutionEngine(n_workers=2, backend="process") as engine:
+            parallel = evaluate_model(model, cases, n=4, seed=9,
+                                      engine=engine)
+            # However many chunks fan out, the object graph is walked
+            # exactly twice per run: once for transport, once for the
+            # after-run fingerprint assertion — never once per chunk.
+            assert SerializationCountingModel.pickle_count == 2
+        assert [(o.n, o.c) for o in serial.outcomes] == \
+               [(o.n, o.c) for o in parallel.outcomes]
+
+    def test_thread_run_never_pickles(self, small_bundle):
+        from repro.engine import ExecutionEngine
+
+        model = SerializationCountingModel()
+        SerializationCountingModel.pickle_count = 0
+        with ExecutionEngine(n_workers=2, backend="thread") as engine:
+            evaluate_model(model, small_bundle.sva_eval_machine, n=2,
+                           seed=9, engine=engine)
+        assert SerializationCountingModel.pickle_count == 0
+
+    def test_trained_model_parallel_matches_serial(self, small_bundle,
+                                                   trained_models):
+        from repro.engine import ExecutionEngine
+
+        _, sft, _ = trained_models
+        serial = evaluate_model(sft, small_bundle.sva_eval_machine, n=4,
+                                seed=3)
+        with ExecutionEngine(n_workers=2, backend="process") as engine:
+            parallel = evaluate_model(sft, small_bundle.sva_eval_machine,
+                                      n=4, seed=3, engine=engine)
+        assert [(o.n, o.c) for o in serial.outcomes] == \
+               [(o.n, o.c) for o in parallel.outcomes]
 
 
 class TestBuckets:

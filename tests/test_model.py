@@ -45,7 +45,6 @@ class TestNgramLm:
         lm = NgramLM()
         lm.train_texts(e.text() for e in small_bundle.verilog_pt)
         seen = "count <= count + 4'd1;"
-        unseen = "zorp banana <= quux ^^^;"
         assert lm.line_surprisal(seen) < lm.line_surprisal(
             "weird_name_xyz <= other_weird + strange;")
 

@@ -1,0 +1,499 @@
+"""Serving layer: service, micro-batcher, result cache, loadgen.
+
+Covers the edge cases the serving contract promises:
+
+- queue-full backpressure raises ``ServiceOverloaded`` instead of
+  queueing unboundedly;
+- identical requests produce byte-identical responses, cached or not;
+- the batcher flushes on batch-size *and* on window timeout;
+- malformed Verilog yields a structured ``compile_error`` response, and
+  the worker keeps serving afterwards;
+- micro-batching beats the sequential one-at-a-time baseline and a
+  100%-repeat workload is served dramatically faster from the cache
+  (the bench's acceptance criteria, smoke-checked here at small scale).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.corpus.generator import CorpusGenerator
+from repro.serve import (
+    AssertService,
+    ResultCache,
+    ServeConfig,
+    ServiceClosed,
+    ServiceOverloaded,
+    SolveOptions,
+    SolveRequest,
+    WorkloadSpec,
+    build_workload,
+    run_load,
+    solve_task,
+)
+from repro.serve.service import SolveTask
+
+MINI_SOURCE = """
+module mini (
+  input clk,
+  input rst_n,
+  input a,
+  input b,
+  output wire y
+);
+  assign y = a & b;
+endmodule
+"""
+
+#: Cheap service settings shared by most tests: tiny BMC budget, serial
+#: engine, wide-open queue.
+FAST = dict(bmc_depth=6, bmc_random_trials=8)
+
+
+def fast_request(source: str, **overrides) -> SolveRequest:
+    options = dict(FAST)
+    options.update(overrides)
+    return SolveRequest(source, SolveOptions(**options))
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    """12 requests over 3 unique corpus designs, small BMC budget."""
+    return build_workload(WorkloadSpec(n_requests=12, unique_designs=3,
+                                       seed=11, bmc_depth=6,
+                                       bmc_random_trials=8))
+
+
+class TestBackpressure:
+    def test_queue_full_raises_overloaded(self):
+        service = AssertService(ServeConfig(max_queue=3))
+        futures = []
+        try:
+            # Not started: nothing drains, so the bounded queue must fill.
+            for _ in range(3):
+                futures.append(service.submit(fast_request(MINI_SOURCE)))
+            with pytest.raises(ServiceOverloaded):
+                service.submit(fast_request(MINI_SOURCE))
+            assert service.stats().rejected == 1
+            assert service.stats().submitted == 3
+            # Starting the consumer drains the accepted requests.
+            service.start()
+            for future in futures:
+                assert future.result(timeout=60).ok
+        finally:
+            service.close()
+
+    def test_submit_after_close_raises(self):
+        service = AssertService(ServeConfig())
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(fast_request(MINI_SOURCE))
+
+    def test_close_drains_accepted_requests(self):
+        service = AssertService(ServeConfig(batch_window_ms=50))
+        future = service.submit(fast_request(MINI_SOURCE))
+        service.start()
+        service.close()
+        assert future.result(timeout=5).ok
+
+
+class TestDeterminismAndCache:
+    def test_same_request_byte_identical_with_cache(self):
+        with AssertService(ServeConfig(result_cache=True)) as service:
+            first = service.solve(fast_request(MINI_SOURCE), timeout=60)
+            second = service.solve(fast_request(MINI_SOURCE), timeout=60)
+            stats = service.stats()
+        assert second is first  # served straight from the result cache
+        assert second.to_json() == first.to_json()
+        assert stats.cache_hits == 1
+        assert stats.solved == 1
+
+    def test_cached_equals_recomputed(self):
+        request = fast_request(MINI_SOURCE)
+        with AssertService(ServeConfig(result_cache=True)) as cached_svc:
+            cached = cached_svc.solve(request, timeout=60)
+        with AssertService(ServeConfig(result_cache=False)) as plain_svc:
+            fresh_a = plain_svc.solve(request, timeout=60)
+            fresh_b = plain_svc.solve(request, timeout=60)
+            assert plain_svc.stats().solved == 2  # really recomputed
+        assert fresh_a.to_json() == fresh_b.to_json() == cached.to_json()
+
+    def test_request_id_does_not_fork_cache(self):
+        a = SolveRequest(MINI_SOURCE, SolveOptions(**FAST), request_id="x")
+        b = SolveRequest(MINI_SOURCE, SolveOptions(**FAST), request_id="y")
+        assert a.cache_key() == b.cache_key()
+
+    def test_options_fork_cache_key(self):
+        a = fast_request(MINI_SOURCE, bmc_depth=6)
+        b = fast_request(MINI_SOURCE, bmc_depth=7)
+        assert a.cache_key() != b.cache_key()
+
+    def test_result_cache_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)           # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.evictions == 1
+
+    def test_solve_task_is_pure(self):
+        request = fast_request(MINI_SOURCE)
+        task = SolveTask(key=request.cache_key(),
+                         design_source=request.design_source,
+                         options=request.options, seed=2025)
+        assert solve_task(task).to_json() == solve_task(task).to_json()
+
+
+class TestBatcherFlush:
+    def test_flush_on_batch_size(self, tiny_workload):
+        config = ServeConfig(max_batch=4, batch_window_ms=5000,
+                             result_cache=False)
+        with AssertService(config) as service:
+            futures = [service.submit(r) for r in tiny_workload[:8]]
+            for future in futures:
+                assert future.result(timeout=120).ok
+            stats = service.stats()
+        # 8 requests, window far too long to expire: only size flushes.
+        assert stats.flush_size == 2
+        assert stats.flush_timeout == 0
+        assert stats.max_batch == 4
+
+    def test_flush_on_timeout(self, tiny_workload):
+        config = ServeConfig(max_batch=64, batch_window_ms=40,
+                             result_cache=False)
+        with AssertService(config) as service:
+            futures = [service.submit(r) for r in tiny_workload[:3]]
+            for future in futures:
+                assert future.result(timeout=120).ok
+            stats = service.stats()
+        # 3 requests can never reach max_batch=64: the window must flush.
+        assert stats.flush_timeout >= 1
+        assert stats.flush_size == 0
+        assert stats.batched_requests == 3
+
+    def test_batch_dedups_identical_requests(self):
+        config = ServeConfig(max_batch=8, batch_window_ms=5000,
+                             result_cache=False)
+        with AssertService(config) as service:
+            request = fast_request(MINI_SOURCE)
+            futures = [service.submit(request) for _ in range(8)]
+            responses = [f.result(timeout=120) for f in futures]
+            stats = service.stats()
+        assert stats.solved == 1          # one engine unit for the batch
+        assert stats.deduped == 7
+        assert len({r.to_json() for r in responses}) == 1
+
+
+class TestMalformedInput:
+    def test_compile_error_is_structured(self):
+        with AssertService(ServeConfig()) as service:
+            response = service.solve("utter garbage ;;;", timeout=60)
+        assert not response.ok
+        assert response.status == "compile_error"
+        assert response.error  # carries the compiler diagnostics
+        assert response.proposals == ()
+
+    def test_worker_survives_malformed_request(self, tiny_workload):
+        with AssertService(ServeConfig()) as service:
+            bad = service.solve("module broken (", timeout=60)
+            good = service.solve(tiny_workload[0], timeout=120)
+            stats = service.stats()
+        assert bad.status == "compile_error"
+        assert good.ok and good.proposals
+        assert stats.compile_errors == 1
+        assert stats.errors == 0  # structured response, not a failed future
+
+    def test_malformed_mixed_into_batch(self, tiny_workload):
+        config = ServeConfig(max_batch=4, batch_window_ms=5000)
+        with AssertService(config) as service:
+            futures = [service.submit(tiny_workload[0]),
+                       service.submit("not verilog"),
+                       service.submit(tiny_workload[1]),
+                       service.submit("also not verilog")]
+            responses = [f.result(timeout=120) for f in futures]
+        assert [r.status for r in responses] == [
+            "ok", "compile_error", "ok", "compile_error"]
+
+
+class TestHintsAndMining:
+    def test_hintless_design_mines_proposals(self):
+        with AssertService(ServeConfig()) as service:
+            response = service.solve(fast_request(MINI_SOURCE), timeout=60)
+        assert response.ok
+        assert response.proposals
+        assert all(p.origin == "mined" for p in response.proposals)
+        assert all(0.0 < p.score <= 1.0 for p in response.proposals)
+
+    def test_mining_disabled_returns_empty_ok(self):
+        request = fast_request(MINI_SOURCE, mine_hints=False)
+        with AssertService(ServeConfig()) as service:
+            response = service.solve(request, timeout=60)
+        assert response.ok
+        assert response.proposals == ()
+
+    def test_corpus_hints_validate_and_score(self, tiny_workload):
+        with AssertService(ServeConfig()) as service:
+            response = service.solve(tiny_workload[0], timeout=120)
+        assert response.ok
+        assert response.proposals  # template hints hold on their design
+        assert all(p.origin == "hint" for p in response.proposals)
+        scores = [p.score for p in response.proposals]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_hallucinated_proposals_rejected(self, tiny_workload):
+        source = tiny_workload[0].design_source
+        base = tiny_workload[0].options
+        distorted = SolveOptions(hints=base.hints, hallucination_rate=1.0,
+                                 bmc_depth=8, bmc_random_trials=16)
+        with AssertService(ServeConfig()) as service:
+            response = service.solve(SolveRequest(source, distorted),
+                                     timeout=120)
+        assert response.ok
+        assert response.rejected > 0
+
+
+class TestLoadgen:
+    def test_workload_is_deterministic(self):
+        spec = WorkloadSpec(n_requests=10, unique_designs=3, seed=42)
+        first = build_workload(spec)
+        second = build_workload(spec)
+        assert [r.cache_key() for r in first] == \
+               [r.cache_key() for r in second]
+        assert [r.design_source for r in first] == \
+               [r.design_source for r in second]
+
+    def test_workload_repeats_designs(self):
+        requests = build_workload(WorkloadSpec(n_requests=16,
+                                               unique_designs=3, seed=42))
+        assert len({r.cache_key() for r in requests}) <= 3
+
+    def test_run_load_reports_latency(self, tiny_workload):
+        with AssertService(ServeConfig()) as service:
+            report = run_load(service, tiny_workload[:4], concurrency=2,
+                              label="smoke")
+        assert report.n_requests == 4
+        assert report.errors == 0
+        assert report.req_per_sec > 0
+        assert 0 < report.p50_ms <= report.p95_ms <= report.max_ms
+        assert all(r is not None and r.ok for r in report.responses)
+
+
+class TestServingWins:
+    """Small-scale smoke checks of the bench acceptance criteria."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload(WorkloadSpec(n_requests=24, unique_designs=3,
+                                           seed=17, bmc_depth=6,
+                                           bmc_random_trials=8))
+
+    def config(self, **overrides) -> ServeConfig:
+        settings = dict(max_queue=64, max_batch=24, batch_window_ms=15,
+                        backend="auto", n_workers=4)
+        settings.update(overrides)
+        return ServeConfig(**settings)
+
+    def test_batched_throughput_beats_sequential(self, workload):
+        with AssertService(self.config(result_cache=False)) as service:
+            sequential = run_load(service, workload, concurrency=1,
+                                  label="sequential")
+            seq_solved = service.stats().solved
+        with AssertService(self.config(result_cache=False)) as service:
+            batched = run_load(service, workload, concurrency=24,
+                               label="batched")
+            batch_stats = service.stats()
+        # Structural win first (not wall-clock-flaky): 24 sequential
+        # solves collapse to one per unique design per batch.
+        assert seq_solved == len(workload)
+        assert batch_stats.solved < len(workload) // 2
+        assert batch_stats.deduped > 0
+        # And the acceptance-criterion throughput ratio.
+        assert batched.req_per_sec >= 2.0 * sequential.req_per_sec
+        # Responses stay byte-identical across serving modes.
+        assert [r.to_json() for r in batched.responses] == \
+               [r.to_json() for r in sequential.responses]
+
+    def test_repeat_workload_served_from_cache(self, workload):
+        with AssertService(self.config(result_cache=True)) as service:
+            cold = run_load(service, workload, concurrency=24, label="cold")
+            warm = run_load(service, workload, concurrency=24, label="warm")
+            stats = service.stats()
+        # The repeat pass recomputes nothing...
+        assert stats.solved <= len({r.cache_key() for r in workload})
+        assert stats.cache_hits > 0
+        # ...and is dramatically faster (acceptance floor: 5x).
+        assert warm.req_per_sec >= 5.0 * cold.req_per_sec
+        assert [r.to_json() for r in warm.responses] == \
+               [r.to_json() for r in cold.responses]
+
+
+class TestConfigValidation:
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(backend="quantum")
+
+    @pytest.mark.parametrize("field,value", [
+        ("max_queue", 0), ("max_batch", 0), ("n_workers", 0),
+        ("cache_entries", 0), ("batch_window_ms", -1.0)])
+    def test_bad_numbers_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ServeConfig(**{field: value})
+
+    def test_bad_options_rejected_at_submit(self):
+        service = AssertService(ServeConfig())
+        try:
+            with pytest.raises(ValueError):
+                service.submit(SolveRequest(
+                    MINI_SOURCE, SolveOptions(hallucination_rate=2.0)))
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("hints", [
+        ((b"name", "y == 1", None, 0, "msg"),),   # non-str name
+        (("name", "y == 1", None, "0", "msg"),),  # non-int delay
+        (("name", "y == 1"),),                    # wrong arity
+        (42,),                                    # not a tuple at all
+    ])
+    def test_malformed_hints_rejected_before_enqueue(self, hints):
+        # Un-canonicalizable hints must fail loudly at submit(), never
+        # inside the batcher thread where they would strand the future.
+        service = AssertService(ServeConfig())
+        try:
+            with pytest.raises(ValueError):
+                service.submit(SolveRequest(MINI_SOURCE,
+                                            SolveOptions(hints=hints)))
+        finally:
+            service.close()
+
+    def test_close_fails_unserved_futures(self):
+        # Never started: close() must fail queued futures, not hang them.
+        service = AssertService(ServeConfig())
+        future = service.submit(fast_request(MINI_SOURCE))
+        service.close()
+        with pytest.raises(ServiceClosed):
+            future.result(timeout=5)
+        assert service.stats().errors == 1
+
+    def test_pipeline_config_plumbs_serve_config(self):
+        from repro.core.api import PipelineConfig
+
+        config = PipelineConfig(n_workers=3, seed=99)
+        serve = config.serve(max_batch=5)
+        assert serve.n_workers == 3
+        assert serve.seed == 99
+        assert serve.max_batch == 5
+        service = config.make_service()
+        try:
+            assert service.config.n_workers == 3
+        finally:
+            service.close()
+
+
+class TestEngineWarm:
+    def test_warm_is_idempotent_and_serial_safe(self):
+        from repro.engine import ExecutionEngine
+
+        with ExecutionEngine(n_workers=1, backend="serial") as engine:
+            engine.warm()
+            engine.warm()
+            assert engine.map(_identity, [1, 2, 3]) == [1, 2, 3]
+
+    def test_warm_starts_thread_pool(self):
+        from repro.engine import ExecutionEngine
+
+        with ExecutionEngine(n_workers=2, backend="thread") as engine:
+            engine.warm()
+            assert engine._pool is not None
+            assert engine.map(_identity, [4, 5]) == [4, 5]
+
+    def test_warm_actually_spawns_process_workers(self):
+        # Executors spawn workers lazily on submit; warm() must force
+        # the spawn, or the first request still pays pool startup.
+        from repro.engine import ExecutionEngine
+
+        with ExecutionEngine(n_workers=2, backend="process") as engine:
+            engine.warm()
+            assert len(engine._pool._processes) >= 1
+            assert engine.map(_identity, [6]) == [6]
+
+
+def _identity(x):
+    return x
+
+
+class TestBatcherUnit:
+    """MicroBatcher in isolation, with an instrumented flush."""
+
+    def test_flush_error_does_not_kill_consumer(self):
+        import queue as queue_mod
+
+        from repro.serve.batcher import MicroBatcher
+
+        source: "queue_mod.Queue" = queue_mod.Queue()
+        seen = []
+
+        def flush(batch, reason):
+            if len(seen) == 0:
+                seen.append("boom")
+                raise RuntimeError("first flush explodes")
+            seen.append(list(batch))
+
+        batcher = MicroBatcher(source, flush, max_batch=2, window_s=0.01)
+        batcher.start()
+        try:
+            source.put("a")
+            source.put("b")
+            deadline = time.monotonic() + 5
+            while batcher.stats.batches < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            source.put("c")
+            deadline = time.monotonic() + 5
+            while batcher.stats.batches < 2 and time.monotonic() < deadline:
+                time.sleep(0.005)
+        finally:
+            batcher.stop()
+        assert batcher.stats.flush_errors == 1
+        assert ["c"] in seen  # the consumer survived and kept flushing
+
+    def test_invalid_parameters(self):
+        import queue as queue_mod
+
+        from repro.serve.batcher import MicroBatcher
+
+        with pytest.raises(ValueError):
+            MicroBatcher(queue_mod.Queue(), lambda b, r: None, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(queue_mod.Queue(), lambda b, r: None, window_s=-1)
+
+
+class TestMining:
+    def test_mine_invariant_hints_shape(self):
+        from repro.sva.mine import mine_invariant_hints
+        from repro.verilog.compile import compile_source
+
+        design = compile_source(MINI_SOURCE).design
+        hints = mine_invariant_hints(design)
+        assert [h.name for h in hints] == ["mined_y_def"]
+        assert hints[0].consequent == "y == (a & b)"
+
+    def test_mining_requires_clock_convention(self):
+        from repro.sva.mine import mine_invariant_hints
+        from repro.verilog.compile import compile_source
+
+        source = ("module nc (input a, input b, output wire y);\n"
+                  "  assign y = a | b;\nendmodule\n")
+        design = compile_source(source).design
+        assert mine_invariant_hints(design) == []
+
+    def test_mined_proposals_round_trip_via_corpus(self):
+        """Mined hints on a corpus design validate like template hints."""
+        design = CorpusGenerator(seed=5).generate_one("counter")
+        request = SolveRequest(design.source,
+                               SolveOptions(mine_hints=True, **FAST))
+        with AssertService(ServeConfig()) as service:
+            response = service.solve(request, timeout=120)
+        assert response.ok  # mined or empty, but never a crash
