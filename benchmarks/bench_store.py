@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Store benchmark: cross-run incremental datagen must actually win.
+
+Runs the Section-II datagen pipeline twice with an identical
+configuration against one :class:`repro.store.DiskStore`:
+
+- **cold** — empty store: every stage unit computes and is written
+  through (the store's overhead is paid here, so this run also guards
+  against the store slowing a first run down);
+- **warm** — populated store: every stage unit is served from disk, so
+  the run skips straight to stored results.
+
+Gates (all fatal):
+
+- ``warm_speedup >= --min-warm-speedup`` (default 5x): the acceptance
+  criterion's performance half;
+- ``fingerprints_match``: the warm bundle is byte-identical to the cold
+  one (``DatasetBundle.fingerprint()``), the correctness half;
+- ``warm_fully_memoized``: the warm run recomputed zero stage units —
+  a miss would mean memo keys leak execution state.
+
+The in-memory compile cache is cleared between runs so the warm win is
+the *store's*, not a process-local artifact.  Results land in
+``BENCH_store.json`` (CI uploads ``BENCH_store.ci.json``) so the
+incremental-execution trajectory is tracked across PRs like the
+pipeline and serve benches.
+
+Run:  PYTHONPATH=src python benchmarks/bench_store.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datagen.pipeline import DatagenConfig, run_pipeline
+from repro.engine import available_cpus
+from repro.store import StoreConfig
+from repro.verilog.compile import default_compile_cache
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _run_once(args, store_dir: Path, label: str):
+    config = DatagenConfig(
+        n_designs=args.designs, bugs_per_design=args.bugs,
+        seed=args.seed, bmc_depth=args.bmc_depth,
+        bmc_random_trials=args.bmc_random_trials,
+        n_workers=args.workers, backend=args.backend,
+        store=StoreConfig(path=store_dir))
+    # A fresh process would start with an empty in-memory compile cache;
+    # simulate that so the warm run's win is attributable to the store.
+    default_compile_cache().clear()
+    started = time.perf_counter()
+    bundle = run_pipeline(config)
+    seconds = time.perf_counter() - started
+    store_stats = bundle.stats["store"]
+    print(f"  {label:<5} {seconds:7.2f}s  "
+          f"memo hits {store_stats['stage_memo_hits']:>4}  "
+          f"misses {store_stats['stage_memo_misses']:>4}  "
+          f"fingerprint {bundle.fingerprint()[:16]}")
+    return bundle, seconds
+
+
+def run_bench(args) -> dict:
+    store_dir = Path(args.store_dir) if args.store_dir \
+        else Path(tempfile.mkdtemp(prefix="bench_store_"))
+    print(f"bench_store: {args.designs} designs, workers={args.workers}, "
+          f"cpus={available_cpus()}, store={store_dir}")
+
+    cold_bundle, cold_s = _run_once(args, store_dir, "cold")
+    warm_bundle, warm_s = _run_once(args, store_dir, "warm")
+
+    warm_speedup = round(cold_s / warm_s, 3) if warm_s else float("inf")
+    fingerprints_match = cold_bundle.fingerprint() == warm_bundle.fingerprint()
+    warm_store = warm_bundle.stats["store"]
+    warm_fully_memoized = warm_store["stage_memo_misses"] == 0
+
+    report = {
+        "benchmark": "store",
+        "n_designs": args.designs,
+        "bugs_per_design": args.bugs,
+        "seed": args.seed,
+        "requested_workers": args.workers,
+        "backend": args.backend,
+        "cpu_count": available_cpus(),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_speedup": warm_speedup,
+        "min_warm_speedup": args.min_warm_speedup,
+        "warm_win": warm_speedup >= args.min_warm_speedup,
+        "fingerprints_match": fingerprints_match,
+        "cold_fingerprint": cold_bundle.fingerprint(),
+        "warm_fingerprint": warm_bundle.fingerprint(),
+        "warm_fully_memoized": warm_fully_memoized,
+        "cold_store": cold_bundle.stats["store"],
+        "warm_store": warm_store,
+        "unix_time": int(time.time()),
+    }
+    output = args.output or REPO_ROOT / "BENCH_store.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  warm speedup {warm_speedup}x (floor {args.min_warm_speedup}x), "
+          f"fingerprints match: {fingerprints_match}, "
+          f"fully memoized: {warm_fully_memoized} -> {output}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", type=int, default=24)
+    parser.add_argument("--bugs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--bmc-depth", type=int, default=10)
+    parser.add_argument("--bmc-random-trials", type=int, default=24)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--backend", default="auto")
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="store root (default: a fresh temp dir, so "
+                             "the cold run is honestly cold)")
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--min-warm-speedup", type=float, default=5.0,
+                        help="required cold/warm wall-clock ratio "
+                             "(0 disables the gate)")
+    args = parser.parse_args()
+    report = run_bench(args)
+    if not report["fingerprints_match"]:
+        print("  FATAL: warm re-run changed the produced datasets")
+        sys.exit(1)
+    if not report["warm_fully_memoized"]:
+        print("  FATAL: warm run recomputed stage units (memo misses > 0)")
+        sys.exit(2)
+    if args.min_warm_speedup > 0 and not report["warm_win"]:
+        print("  FATAL: warm-run speedup below floor")
+        sys.exit(3)
+
+
+if __name__ == "__main__":
+    main()

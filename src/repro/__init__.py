@@ -27,13 +27,17 @@ the paper on a pure-Python substrate:
 - :mod:`repro.serve` — the online serving layer: an async micro-batching
   assertion service with content-hash result caching and a load-test
   harness.
+- :mod:`repro.store` — the persistent content-addressed artifact store:
+  crash-safe disk blobs under every cache, making datagen re-runs
+  incremental and letting service fleets pool responses.
 """
 
 _API_EXPORTS = ("AssertSolverPipeline", "PipelineConfig")
 _SERVE_EXPORTS = ("AssertService", "ServeConfig", "SolveOptions",
                   "SolveRequest")
-__all__ = [*_API_EXPORTS, *_SERVE_EXPORTS]
-__version__ = "1.1.0"
+_STORE_EXPORTS = ("DiskStore", "MemoryStore", "StoreConfig", "TieredStore")
+__all__ = [*_API_EXPORTS, *_SERVE_EXPORTS, *_STORE_EXPORTS]
+__version__ = "1.2.0"
 
 
 def __getattr__(name):
@@ -46,4 +50,8 @@ def __getattr__(name):
         import repro.serve as serve
 
         return getattr(serve, name)
+    if name in _STORE_EXPORTS:
+        import repro.store as store
+
+        return getattr(store, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

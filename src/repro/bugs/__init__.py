@@ -15,14 +15,14 @@ fault model, mirroring how the paper's fine-tuned LLM learns the inverse of
 the bug distribution it was trained on.
 """
 
+from repro.bugs.injector import BugInjector, BugRecord
+from repro.bugs.mutators import MutationCandidate, enumerate_mutations
 from repro.bugs.taxonomy import (
+    TABLE1_ROWS,
     BugKind,
     Conditionality,
     Relation,
-    TABLE1_ROWS,
 )
-from repro.bugs.injector import BugInjector, BugRecord
-from repro.bugs.mutators import MutationCandidate, enumerate_mutations
 
 __all__ = [
     "BugKind",

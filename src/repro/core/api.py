@@ -36,6 +36,7 @@ from repro.eval.reporting import (
 )
 from repro.eval.runner import EvalResult, evaluate_model
 from repro.model.assertsolver import AssertSolver
+from repro.store import StoreConfig
 
 
 @dataclass
@@ -63,11 +64,18 @@ class PipelineConfig:
     compile_cache: bool = True
     template_families: Optional[Tuple[str, ...]] = None
     family_weights: Optional[Dict[str, float]] = None
+    #: Persistent artifact store (see :class:`repro.store.StoreConfig`):
+    #: an execution knob like ``n_workers`` — it makes re-runs
+    #: incremental (datagen) and lets service fleets pool responses
+    #: (serve), but never changes results.
+    store: Optional[StoreConfig] = None
 
     def __post_init__(self):
         # Fail fast on unknown/empty family selections instead of minutes
         # later when run_datagen() first builds a DatagenConfig.
         resolve_families(self.template_families, self.family_weights)
+        if self.store is not None:
+            self.store.validate()
 
     def datagen(self) -> DatagenConfig:
         return DatagenConfig(n_designs=self.n_designs,
@@ -77,7 +85,8 @@ class PipelineConfig:
                              backend=self.backend,
                              compile_cache=self.compile_cache,
                              template_families=self.template_families,
-                             family_weights=self.family_weights)
+                             family_weights=self.family_weights,
+                             store=self.store)
 
     def make_engine(self) -> ExecutionEngine:
         return ExecutionEngine(n_workers=self.n_workers,
@@ -91,7 +100,8 @@ class PipelineConfig:
         from repro.serve import ServeConfig
 
         settings = dict(n_workers=self.n_workers, backend=self.backend,
-                        compile_cache=self.compile_cache, seed=self.seed)
+                        compile_cache=self.compile_cache, seed=self.seed,
+                        store=self.store)
         settings.update(overrides)
         return ServeConfig(**settings)
 

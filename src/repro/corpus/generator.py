@@ -24,6 +24,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.corpus.meta import DesignSeed
 from repro.corpus.registry import TEMPLATE_FAMILIES, make_instance
 from repro.engine.rng import derive_seed
+from repro.store import unit_memo_key
 from repro.verilog.compile import compile_source
 from repro.verilog.writer import write_module
 
@@ -168,7 +169,11 @@ class CorpusGenerator:
         tasks = [self._task(index) for index in range(start, start + count)]
         if engine is None:
             return [corpus_unit(task) for task in tasks]
-        return engine.map(corpus_unit, tasks, stage=STAGE_NAME)
+        return engine.map(
+            corpus_unit, tasks, stage=STAGE_NAME,
+            memo_key=lambda task: unit_memo_key(
+                STAGE_NAME, task.design_id, engine.memo_context,
+                task.global_seed))
 
     def stream(self) -> Iterator[DesignSeed]:
         while True:

@@ -7,9 +7,8 @@ its own SVA hints.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
-
 import random
+from typing import Callable, Dict, List
 
 from repro.corpus.meta import DesignSeed
 from repro.corpus.templates_arbiter import ARBITER_TEMPLATES

@@ -36,6 +36,7 @@ from repro.datagen.stage1 import run_stage1
 from repro.datagen.stage2 import SVA_VALIDATION_MODES, run_stage2
 from repro.datagen.stage3 import run_stage3
 from repro.engine import BACKENDS, ExecutionEngine, StageGraph, derive_rng
+from repro.store import StoreConfig
 from repro.sva.bmc import BmcConfig
 from repro.verilog.compile import (
     configure_compile_cache,
@@ -43,8 +44,9 @@ from repro.verilog.compile import (
 )
 
 #: ``DatasetBundle.stats`` keys that legitimately differ between backends
-#: (wall times, worker counts, cache hit attribution).
-VOLATILE_STAT_KEYS = ("engine", "compile_cache")
+#: and between cold/warm runs (wall times, worker counts, cache and store
+#: hit attribution).
+VOLATILE_STAT_KEYS = ("engine", "compile_cache", "store")
 
 
 @dataclass
@@ -81,6 +83,7 @@ class DatagenConfig:
     sva_validation: str = "batched"
     template_families: Optional[Tuple[str, ...]] = None
     family_weights: Optional[Dict[str, float]] = None
+    store: Optional[StoreConfig] = None
 
     def __post_init__(self):
         self.validate()
@@ -108,8 +111,46 @@ class DatagenConfig:
             raise ValueError(
                 f"sva_validation must be one of {SVA_VALIDATION_MODES}, "
                 f"got {self.sva_validation!r}")
+        if self.store is not None:
+            if not isinstance(self.store, StoreConfig):
+                raise ValueError(
+                    f"store must be a StoreConfig or None, got {self.store!r}")
+            self.store.validate()
         # Raises ValueError on unknown family names / bad weights.
         resolve_families(self.template_families, self.family_weights)
+
+    def semantic_digest(self) -> str:
+        """SHA-256 over every knob that changes the produced datasets.
+
+        This is the ``config_digest`` part of the stage-memoization key
+        (see :func:`repro.store.unit_memo_key`): stored unit results are
+        reused only when the run is semantically identical, while pure
+        execution knobs (workers, backend, caches, the store itself) stay
+        out so a parallel warm run hits what a serial cold run stored.
+
+        The package version is part of the digest: stage implementations
+        evolve across releases, and a long-lived shared store must never
+        serve a unit result the current code would not produce.
+        """
+        import repro
+
+        weights = (None if self.family_weights is None
+                   else sorted(self.family_weights.items()))
+        payload = json.dumps({
+            "repro_version": repro.__version__,
+            "n_designs": self.n_designs,
+            "bugs_per_design": self.bugs_per_design,
+            "seed": self.seed,
+            "break_rate": self.break_rate,
+            "hallucination_rate": self.hallucination_rate,
+            "train_fraction": self.train_fraction,
+            "bmc_depth": self.bmc_depth,
+            "bmc_random_trials": self.bmc_random_trials,
+            "sva_validation": self.sva_validation,
+            "template_families": self.template_families,
+            "family_weights": weights,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def make_corpus_generator(self) -> CorpusGenerator:
         return CorpusGenerator(seed=self.seed,
@@ -121,12 +162,23 @@ class DatagenConfig:
                          random_trials=self.bmc_random_trials,
                          seed=self.seed)
 
-    def make_engine(self) -> ExecutionEngine:
-        """An engine whose workers inherit this config's cache knobs."""
+    def make_engine(self, store=None) -> ExecutionEngine:
+        """An engine whose workers inherit this config's cache knobs.
+
+        ``store`` (built from ``self.store`` by the pipeline) enables
+        stage-level memoization in the parent; process-pool workers
+        additionally attach their compile caches to the same disk
+        directory via the initializer, so compile artifacts are shared
+        across the whole worker fleet.
+        """
+        store_path = self.store.store_path() if self.store else ""
+        store_bytes = self.store.max_bytes if store_path else 0
         return ExecutionEngine(
             n_workers=self.n_workers, backend=self.backend,
+            store=store, memo_context=self.semantic_digest(),
             initializer=configure_compile_cache,
-            initargs=(self.compile_cache, self.compile_cache_size))
+            initargs=(self.compile_cache, self.compile_cache_size,
+                      store_path, store_bytes))
 
 
 @dataclass
@@ -238,16 +290,27 @@ def build_stage_graph(config: DatagenConfig) -> StageGraph:
 
 
 def run_pipeline(config: DatagenConfig) -> DatasetBundle:
-    """Run the full Section-II pipeline at the configured scale."""
+    """Run the full Section-II pipeline at the configured scale.
+
+    With ``config.store`` pointing at a populated disk directory, stage
+    units whose results the store already holds are skipped entirely
+    (cross-run incremental execution); the produced bundle is
+    byte-identical either way — a warm run and a cold run share one
+    :meth:`DatasetBundle.fingerprint`.
+    """
     config.validate()
+    store = config.store.make_store() if config.store is not None else None
+    store_path = config.store.store_path() if config.store else ""
     previous_cache = configure_compile_cache(
-        enabled=config.compile_cache, max_entries=config.compile_cache_size)
+        enabled=config.compile_cache, max_entries=config.compile_cache_size,
+        store_path=store_path,
+        store_max_bytes=config.store.max_bytes if store_path else 0)
     cache_before = default_compile_cache().counters()
     try:
-        with config.make_engine() as engine:
+        with config.make_engine(store=store) as engine:
             outputs = build_stage_graph(config).run(engine)
             bundle = _assemble(config, outputs)
-            _attach_execution_stats(bundle, engine, cache_before)
+            _attach_execution_stats(bundle, engine, cache_before, store)
     finally:
         configure_compile_cache(*previous_cache)
     return bundle
@@ -292,8 +355,20 @@ def _assemble(config: DatagenConfig, outputs: Dict[str, object]
 
 
 def _attach_execution_stats(bundle: DatasetBundle, engine: ExecutionEngine,
-                            cache_before: Dict[str, int]) -> None:
-    """Add the volatile ``engine`` / ``compile_cache`` stat keys."""
+                            cache_before: Dict[str, int],
+                            store=None) -> None:
+    """Add the volatile ``engine`` / ``compile_cache`` / ``store`` keys."""
+    if store is None:
+        bundle.stats["store"] = {"enabled": False}
+    else:
+        stages = engine.stats()["stages"].values()
+        bundle.stats["store"] = {
+            "enabled": True,
+            "counters": store.counters(),
+            "stage_memo_hits": sum(s.get("memo_hits", 0) for s in stages),
+            "stage_memo_misses": sum(s.get("memo_misses", 0)
+                                     for s in stages),
+        }
     cache_after = default_compile_cache().counters()
     totals = {key: cache_after.get(key, 0) - cache_before.get(key, 0)
               for key in cache_after}
@@ -303,7 +378,8 @@ def _attach_execution_stats(bundle: DatasetBundle, engine: ExecutionEngine,
         for key, value in engine.metric_totals().get(
                 "compile_cache", {}).items():
             totals[key] = totals.get(key, 0) + value
-    lookups = totals.get("hits", 0) + totals.get("misses", 0)
-    totals["hit_rate"] = (totals.get("hits", 0) / lookups) if lookups else 0.0
+    served = totals.get("hits", 0) + totals.get("store_hits", 0)
+    lookups = served + totals.get("misses", 0)
+    totals["hit_rate"] = (served / lookups) if lookups else 0.0
     bundle.stats["compile_cache"] = totals
     bundle.stats["engine"] = engine.stats()

@@ -31,6 +31,7 @@ from repro.corpus.syntax_breaker import break_syntax
 from repro.datagen.records import VerilogPTEntry
 from repro.engine import ExecutionEngine, StageContext, derive_rng
 from repro.oracles.spec import analyze_compile_failure, write_spec
+from repro.store import unit_memo_key
 from repro.verilog.compile import compile_source
 
 STAGE_NAME = "stage1"
@@ -222,7 +223,11 @@ def run_stage1(seeds: List[DesignSeed], rng: Optional[random.Random] = None,
     if engine is None:
         unit_results = [stage1_unit(task) for task in tasks]
     else:
-        unit_results = engine.map(stage1_unit, tasks, stage=STAGE_NAME)
+        unit_results = engine.map(
+            stage1_unit, tasks, stage=STAGE_NAME,
+            memo_key=lambda task: unit_memo_key(
+                task.ctx.stage_name, task.ctx.unit_id, engine.memo_context,
+                task.ctx.global_seed))
     return merge_stage1(unit_results, filtered, duplicates)
 
 

@@ -34,6 +34,7 @@ from repro.datagen.stage1 import unit_ids
 from repro.engine import ExecutionEngine, StageContext
 from repro.oracles.spec import write_spec
 from repro.oracles.sva import SvaOracle, SvaProposal
+from repro.store import unit_memo_key
 from repro.sva.bmc import BmcConfig, bounded_check, bounded_check_batch
 from repro.sva.insert import compile_with_sva
 from repro.verilog.compile import compile_source
@@ -267,7 +268,11 @@ def run_stage2(seeds: List[DesignSeed], seed: int = 0,
     if engine is None:
         unit_results = [stage2_unit(task) for task in tasks]
     else:
-        unit_results = engine.map(stage2_unit, tasks, stage=STAGE_NAME)
+        unit_results = engine.map(
+            stage2_unit, tasks, stage=STAGE_NAME,
+            memo_key=lambda task: unit_memo_key(
+                task.ctx.stage_name, task.ctx.unit_id, engine.memo_context,
+                task.ctx.global_seed))
     result = Stage2Result()
     for unit_result in unit_results:
         result.merge_from(unit_result)

@@ -21,6 +21,7 @@ from repro.bugs.injector import BugRecord
 from repro.datagen.records import SvaBugEntry
 from repro.engine import ExecutionEngine, StageContext
 from repro.oracles.cot import CotOracle
+from repro.store import unit_memo_key
 
 STAGE_NAME = "stage3"
 
@@ -95,7 +96,13 @@ def run_stage3(entries: List[SvaBugEntry], seed: int = 0,
     if engine is None:
         outcomes = [stage3_unit(task) for task in tasks]
     else:
-        outcomes = engine.map(stage3_unit, tasks, stage=STAGE_NAME)
+        # Sibling entries of one design share a ctx.unit_id; the ordinal
+        # keeps their memo keys (like their RNG streams) apart.
+        outcomes = engine.map(
+            stage3_unit, tasks, stage=STAGE_NAME,
+            memo_key=lambda task: unit_memo_key(
+                task.ctx.stage_name, task.ctx.unit_id, engine.memo_context,
+                task.ctx.global_seed, task.ordinal))
     for entry, (text, validated) in zip(entries, outcomes):
         result.generated += 1
         if validated:

@@ -56,13 +56,22 @@ class ExecutionEngine:
 
     def __init__(self, n_workers: int = 1, backend: str = "auto",
                  initializer: Optional[Callable] = None,
-                 initargs: tuple = ()):
+                 initargs: tuple = (),
+                 store=None, memo_context: str = "",
+                 memo_namespace: str = "stage/v1"):
         """``initializer(*initargs)`` propagates process-global settings
         (e.g. compile-cache knobs) into process-pool workers.  It runs
         only in subprocesses: under the serial and thread backends work
         executes in the calling process, whose state the caller already
         controls — running it there would leak a global mutation past
-        the engine's lifetime."""
+        the engine's lifetime.
+
+        ``store`` (any :class:`repro.store.ArtifactStore`) enables
+        unit-level memoization in :meth:`map`: calls that also pass a
+        ``memo_key`` skip units whose results the store already holds.
+        ``memo_context`` is the caller's config digest, available to key
+        functions via the engine so stored results are only reused for a
+        semantically identical configuration."""
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -77,6 +86,9 @@ class ExecutionEngine:
             backend = "serial"
         self.backend = backend
         self.n_workers = n_workers
+        self.store = store
+        self.memo_context = memo_context
+        self.memo_namespace = memo_namespace
         self._initializer = initializer
         self._initargs = initargs
         self._pool = None
@@ -137,18 +149,57 @@ class ExecutionEngine:
     def parallel(self) -> bool:
         return self.backend != "serial"
 
-    def map(self, fn: Callable, items: Sequence, stage: Optional[str] = None
-            ) -> List:
+    def map(self, fn: Callable, items: Sequence, stage: Optional[str] = None,
+            memo_key: Optional[Callable] = None) -> List:
         """Apply ``fn`` to every item, preserving input order.
 
         ``fn`` must be a module-level function and items picklable when
         the backend is ``process``.
+
+        When the engine carries a ``store`` and the caller passes
+        ``memo_key`` (item -> content-key string, typically built with
+        :func:`repro.store.unit_memo_key` over this engine's
+        ``memo_context``), every unit is first looked up in the store's
+        ``memo_namespace``; only misses execute, and their results are
+        written back — so an identical re-run skips straight to stored
+        results.  Memoized unit results must be picklable and non-``None``
+        (a stored ``None`` is indistinguishable from a miss).  Store hits
+        bypass the unit's metrics snapshot, so worker-side counters (e.g.
+        compile-cache stats) only reflect units that actually ran.
         """
         items = list(items)
         self._map_count += 1
         stage = stage or f"map-{self._map_count}"
-        pool = self._ensure_pool()
         started = time.perf_counter()
+        store = self.store if memo_key is not None else None
+        if store is None:
+            results = self._execute(fn, items)
+            memo_hits = memo_misses = 0
+        else:
+            keys = [memo_key(item) for item in items]
+            results = [store.get(self.memo_namespace, key) for key in keys]
+            pending = [i for i, cached in enumerate(results)
+                       if cached is None]
+            memo_hits = len(items) - len(pending)
+            memo_misses = len(pending)
+            if pending:
+                computed = self._execute(fn, [items[i] for i in pending])
+                for i, result in zip(pending, computed):
+                    store.put(self.memo_namespace, keys[i], result)
+                    results[i] = result
+        elapsed = time.perf_counter() - started
+        bucket = self._stage_stats.setdefault(
+            stage, {"units": 0, "seconds": 0.0,
+                    "memo_hits": 0, "memo_misses": 0})
+        bucket["units"] += len(items)
+        bucket["seconds"] += elapsed
+        bucket["memo_hits"] += memo_hits
+        bucket["memo_misses"] += memo_misses
+        return results
+
+    def _execute(self, fn: Callable, items: List) -> List:
+        """The raw ordered map: pool dispatch + metrics accumulation."""
+        pool = self._ensure_pool()
         tasks = [(fn, item) for item in items]
         if pool is None:
             pairs = [_call_with_metrics(task) for task in tasks]
@@ -160,11 +211,6 @@ class ExecutionEngine:
         for result, counter_delta in pairs:
             metrics.accumulate(self._metric_totals, counter_delta)
             results.append(result)
-        elapsed = time.perf_counter() - started
-        bucket = self._stage_stats.setdefault(
-            stage, {"units": 0, "seconds": 0.0})
-        bucket["units"] += len(items)
-        bucket["seconds"] += elapsed
         return results
 
     # -- reporting -----------------------------------------------------------
@@ -182,6 +228,8 @@ class ExecutionEngine:
             "requested_workers": self.requested_workers,
             "cpu_count": available_cpus(),
             "stages": {name: {"units": int(s["units"]),
-                              "seconds": round(s["seconds"], 6)}
+                              "seconds": round(s["seconds"], 6),
+                              "memo_hits": int(s.get("memo_hits", 0)),
+                              "memo_misses": int(s.get("memo_misses", 0))}
                        for name, s in self._stage_stats.items()},
         }

@@ -15,9 +15,9 @@ imperfection, so every validation path in the pipeline stays exercised:
   deciding which entries keep their CoT.
 """
 
+from repro.oracles.cot import CotOracle, CotProposal
 from repro.oracles.spec import analyze_compile_failure, write_spec
 from repro.oracles.sva import SvaOracle, SvaProposal
-from repro.oracles.cot import CotOracle, CotProposal
 
 __all__ = [
     "write_spec",

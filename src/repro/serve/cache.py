@@ -11,25 +11,25 @@ derives from the request's content hash), so serving a cached response is
 byte-identical to recomputing it — asserted by the test suite and the
 serve bench.  Cached responses are shared objects: treat them as
 immutable, exactly like cached :class:`CompileResult` objects.
+
+That same byte-determinism is what makes the optional persistent tier
+sound: with a :class:`repro.store.DiskStore` attached (see
+``ServeConfig.store``), responses spill to disk on write and refill from
+it on a memory miss, letting multiple :class:`AssertService` instances —
+across processes, restarts, and hosts sharing a filesystem — pool one
+response set.  Cached == recomputed, so it never matters *which*
+instance solved a request first.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.store.base import NS_SERVE, content_key
 
-def content_key(*parts: str) -> str:
-    """SHA-256 over length-prefixed parts (no separator collisions)."""
-    digest = hashlib.sha256()
-    for part in parts:
-        data = part.encode("utf-8")
-        digest.update(str(len(data)).encode("ascii"))
-        digest.update(b":")
-        digest.update(data)
-    return digest.hexdigest()
+__all__ = ["ResultCache", "content_key"]
 
 
 class ResultCache:
@@ -37,21 +37,36 @@ class ResultCache:
 
     Counters are monotonic (like :class:`CompileCache`'s) so deltas
     between snapshots are meaningful; they surface in
-    :class:`repro.serve.service.ServiceStats`.
+    :class:`repro.serve.service.ServiceStats`.  With a backing ``store``,
+    a memory miss consults it before reporting a miss (``store_hits``
+    counts the refills — ``hits + store_hits + misses == lookups``) and
+    every ``put`` writes through, so entries evicted from memory refill
+    from the store instead of being lost.
     """
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(self, max_entries: int = 1024, store=None,
+                 namespace: str = NS_SERVE):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.store = store
+        self.namespace = namespace
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _insert_locked(self, key: str, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
     def get(self, key: str) -> Optional[object]:
         """The cached response for ``key``, counting a hit or a miss."""
@@ -61,29 +76,36 @@ class ResultCache:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 return cached
+        if self.store is not None:
+            stored = self.store.get(self.namespace, key)
+            if stored is not None:
+                with self._lock:
+                    self.store_hits += 1
+                    self._insert_locked(key, stored)
+                return stored
+        with self._lock:
             self.misses += 1
             return None
 
     def put(self, key: str, value: object) -> None:
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._insert_locked(key, value)
+        if self.store is not None:
+            self.store.put(self.namespace, key, value)
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the backing store keeps its entries)."""
         with self._lock:
             self._entries.clear()
 
     def counters(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+                "evictions": self.evictions, "store_hits": self.store_hits}
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self.hits + self.store_hits + self.misses
+        return (self.hits + self.store_hits) / total if total else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"ResultCache({len(self._entries)}/{self.max_entries} "

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -43,6 +44,7 @@ from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
 from repro.engine import BACKENDS, ExecutionEngine, derive_rng
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache, content_key
+from repro.store import StoreConfig
 from repro.sva.bmc import BmcConfig
 from repro.sva.mine import mine_invariant_hints
 from repro.verilog.compile import compile_source, configure_compile_cache
@@ -90,6 +92,13 @@ class SolveOptions:
     hallucination_rate: float = 0.0
     bmc_depth: int = 10
     bmc_random_trials: int = 24
+    #: Wall-clock budget from ``submit()``; a request still unserved when
+    #: it expires — waiting in the queue or sitting in a batch — resolves
+    #: to a structured ``timeout`` response instead of blocking
+    #: ``result()`` forever.  A QoS knob like ``request_id``, NOT part of
+    #: the content key: differently-deadlined repeats still share cache
+    #: entries and batch dedup, and timeout responses are never cached.
+    deadline_ms: Optional[float] = None
 
     @classmethod
     def for_design(cls, design: DesignSeed, **overrides) -> "SolveOptions":
@@ -127,9 +136,18 @@ class SolveOptions:
                     or value < minimum:
                 raise ValueError(
                     f"{name} must be an integer >= {minimum}, got {value!r}")
+        if self.deadline_ms is not None \
+                and (not isinstance(self.deadline_ms, (int, float))
+                     or isinstance(self.deadline_ms, bool)
+                     or self.deadline_ms <= 0):
+            raise ValueError(f"deadline_ms must be a number > 0 or None, "
+                             f"got {self.deadline_ms!r}")
 
     def canonical(self) -> str:
-        """Stable text rendering, hashed into the request key."""
+        """Stable text rendering, hashed into the request key.
+
+        Deliberately excludes ``deadline_ms``: the deadline changes when
+        a response is worth delivering, never what the response is."""
         return json.dumps({
             "hints": [list(h) for h in self.hints],
             "mine_hints": self.mine_hints,
@@ -185,9 +203,12 @@ class ScoredProposal:
 class SolveResponse:
     """The deterministic result of one solve.
 
-    ``status`` is ``"ok"`` or ``"compile_error"``; a compile error
-    carries the compiler's diagnostics in ``error`` (structured failure,
-    not a crashed worker).  ``request_key`` echoes the request's content
+    ``status`` is ``"ok"``, ``"compile_error"``, or ``"timeout"``: a
+    compile error carries the compiler's diagnostics in ``error``
+    (structured failure, not a crashed worker); a timeout means the
+    request exceeded its ``SolveOptions.deadline_ms`` before being
+    served (never cached — only the two deterministic statuses are).
+    ``request_key`` echoes the request's content
     key (design source + canonical options) so clients can correlate
     responses with submissions.  Deliberately carries no timing or host
     fields: identical requests must serialize to identical bytes
@@ -314,6 +335,12 @@ class ServeConfig:
     compile_cache: bool = True
     compile_cache_size: int = 4096
     seed: int = 2025
+    #: Persistent tier under the result cache (and, via the worker
+    #: initializer, under every worker's compile cache).  Responses are
+    #: byte-deterministic functions of request content, so a fleet of
+    #: service instances pointed at one store directory safely pool
+    #: responses: cached == recomputed.
+    store: Optional[StoreConfig] = None
 
     def __post_init__(self):
         self.validate()
@@ -335,13 +362,29 @@ class ServeConfig:
                 or self.batch_window_ms < 0:
             raise ValueError(f"batch_window_ms must be a number >= 0, "
                              f"got {self.batch_window_ms!r}")
+        if self.store is not None:
+            if not isinstance(self.store, StoreConfig):
+                raise ValueError(
+                    f"store must be a StoreConfig or None, got {self.store!r}")
+            self.store.validate()
+
+    def compile_cache_settings(self) -> tuple:
+        """The ``configure_compile_cache`` arguments this config implies —
+        applied in worker processes (engine initializer) and, by
+        :meth:`AssertService.start`, in the serving process itself, so
+        the persistent compile tier also exists under the serial and
+        thread backends where no initializer ever runs."""
+        store_path = self.store.store_path() if self.store else ""
+        store_bytes = self.store.max_bytes if store_path else 0
+        return (self.compile_cache, self.compile_cache_size,
+                store_path, store_bytes)
 
     def make_engine(self) -> ExecutionEngine:
         """Worker pool whose subprocesses inherit the compile-cache knobs."""
         return ExecutionEngine(
             n_workers=self.n_workers, backend=self.backend,
             initializer=configure_compile_cache,
-            initargs=(self.compile_cache, self.compile_cache_size))
+            initargs=self.compile_cache_settings())
 
 
 @dataclass
@@ -355,10 +398,13 @@ class ServiceStats:
     solved: int = 0
     deduped: int = 0
     compile_errors: int = 0
+    timeouts: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_store_hits: int = 0
     cache_entries: int = 0
     cache_hit_rate: float = 0.0
+    store_entries: int = 0
     batches: int = 0
     batched_requests: int = 0
     mean_batch: float = 0.0
@@ -391,7 +437,10 @@ class AssertService:
         self.config = config or ServeConfig()
         self.config.validate()
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_queue)
-        self._cache = (ResultCache(self.config.cache_entries)
+        self._store = (self.config.store.make_store()
+                       if self.config.store is not None else None)
+        self._cache = (ResultCache(self.config.cache_entries,
+                                   store=self._store)
                        if self.config.result_cache else None)
         self._engine: Optional[ExecutionEngine] = None
         self._batcher: Optional[MicroBatcher] = None
@@ -404,6 +453,8 @@ class AssertService:
         self._solved = 0
         self._deduped = 0
         self._compile_errors = 0
+        self._timeouts = 0
+        self._previous_compile_cache: Optional[tuple] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -412,6 +463,12 @@ class AssertService:
             raise ServiceClosed("service is closed")
         if self._batcher is not None:
             return self
+        # Apply the compile-cache knobs (incl. the persistent store tier)
+        # in this process too: under the serial and thread backends the
+        # engine initializer never runs, and compilation happens right
+        # here.  close() restores the previous settings.
+        self._previous_compile_cache = configure_compile_cache(
+            *self.config.compile_cache_settings())
         self._engine = self.config.make_engine()
         self._engine.warm()  # pool startup off the first request's latency
         self._batcher = MicroBatcher(
@@ -442,7 +499,7 @@ class AssertService:
             except queue.Empty:
                 break
             if isinstance(item, tuple):
-                _, future = item
+                future = item[1]
                 if not future.done():
                     future.set_exception(ServiceClosed(
                         "service closed before the request was served"))
@@ -450,6 +507,9 @@ class AssertService:
                         self._errors += 1
         if self._engine is not None:
             self._engine.close()
+        if self._previous_compile_cache is not None:
+            configure_compile_cache(*self._previous_compile_cache)
+            self._previous_compile_cache = None
 
     def __enter__(self) -> "AssertService":
         return self.start()
@@ -473,6 +533,9 @@ class AssertService:
         """
         request = self._coerce(request)
         future: "Future" = Future()
+        deadline = request.options.deadline_ms
+        expiry = (time.monotonic() + deadline / 1000.0
+                  if deadline is not None else None)
         # Atomic closed-check + enqueue (put_nowait never blocks, so
         # holding the lock is safe): a submit can therefore never land
         # behind close()'s stop sentinel and be silently stranded.
@@ -480,7 +543,7 @@ class AssertService:
             if self._closed:
                 raise ServiceClosed("service is closed")
             try:
-                self._queue.put_nowait((request, future))
+                self._queue.put_nowait((request, future, expiry))
             except queue.Full:
                 self._rejected += 1
                 raise ServiceOverloaded(
@@ -498,7 +561,7 @@ class AssertService:
 
     # -- batch flush (batcher thread) ----------------------------------------
 
-    def _flush(self, batch: List[Tuple[SolveRequest, "Future"]],
+    def _flush(self, batch: List[Tuple[SolveRequest, "Future", Optional[float]]],
                reason: str) -> None:
         """Serve one batch.  Must resolve every future, success or not:
         a stranded future hangs its client forever, which is worse than
@@ -507,7 +570,8 @@ class AssertService:
             self._flush_inner(batch)
         except BaseException as exc:  # noqa: BLE001
             unresolved = 0
-            for _, future in batch:
+            for item in batch:
+                future = item[1]
                 if not future.done():
                     future.set_exception(exc)
                     unresolved += 1
@@ -515,13 +579,28 @@ class AssertService:
                 self._errors += unresolved
             raise  # let the batcher count the flush error too
 
-    def _flush_inner(self, batch: List[Tuple[SolveRequest, "Future"]]) -> None:
+    @staticmethod
+    def _timeout_response(key: str) -> SolveResponse:
+        return SolveResponse(
+            "timeout", key,
+            error="deadline_ms exceeded before the request was served")
+
+    def _flush_inner(self, batch: List[Tuple[SolveRequest, "Future",
+                                             Optional[float]]]) -> None:
+        # Requests already past their deadline resolve to a structured
+        # timeout immediately — before any compute is spent on them.
+        now = time.monotonic()
+        timeouts = 0
         # Group by content key: duplicates in one window are solved once.
         groups: "OrderedDict[str, List]" = OrderedDict()
         requests: Dict[str, SolveRequest] = {}
-        for request, future in batch:
+        for request, future, expiry in batch:
             key = request.cache_key()
-            groups.setdefault(key, []).append(future)
+            if expiry is not None and now > expiry:
+                future.set_result(self._timeout_response(key))
+                timeouts += 1
+                continue
+            groups.setdefault(key, []).append((future, expiry))
             requests.setdefault(key, request)
 
         misses: List[str] = []
@@ -531,13 +610,14 @@ class AssertService:
             if cached is not None:
                 # Resolve hits now: a microsecond lookup must not wait
                 # behind the batch's slowest cache-miss solve.
-                for future in groups[key]:
+                for future, _ in groups[key]:
                     future.set_result(cached)
                 hit_futures += len(groups[key])
             else:
                 misses.append(key)
 
-        dedup_extra = len(batch) - len(groups)
+        dedup_extra = (sum(len(waiters) for waiters in groups.values())
+                       - len(groups))
         tasks = [SolveTask(key=key,
                            design_source=requests[key].design_source,
                            options=requests[key].options,
@@ -548,27 +628,45 @@ class AssertService:
                        if tasks else [])
         except BaseException as exc:  # noqa: BLE001 - fail futures, not thread
             for key in misses:
-                for future in groups[key]:
+                for future, _ in groups[key]:
                     future.set_exception(exc)
             with self._lock:
                 self._errors += sum(len(groups[k]) for k in misses)
-                self._completed += hit_futures
+                self._completed += hit_futures + timeouts
                 self._deduped += dedup_extra
+                self._timeouts += timeouts
             return
 
+        # Decide every outcome first, update the counters, and only then
+        # resolve futures: a client that wakes from ``result()`` and
+        # immediately reads ``stats()`` must see its own request counted.
         compile_errors = 0
+        done = time.monotonic()
+        resolutions: List[Tuple["Future", SolveResponse]] = []
         for key, response in zip(misses, results):
-            if self._cache is not None:
-                self._cache.put(key, response)
             if not response.ok:
                 compile_errors += 1
-            for future in groups[key]:
-                future.set_result(response)
+            for future, expiry in groups[key]:
+                if expiry is not None and done > expiry:
+                    resolutions.append((future, self._timeout_response(key)))
+                    timeouts += 1
+                else:
+                    resolutions.append((future, response))
         with self._lock:
             self._completed += len(batch)
             self._solved += len(tasks)
             self._deduped += dedup_extra
             self._compile_errors += compile_errors
+            self._timeouts += timeouts
+        for future, value in resolutions:
+            future.set_result(value)
+        # Write-through last: a disk-backed cache put (pickle + rename +
+        # index bookkeeping) must not sit on the response critical path.
+        # The computed response is valid and cacheable even when its own
+        # waiters timed out mid-batch — a later repeat hits it.
+        if self._cache is not None:
+            for key, response in zip(misses, results):
+                self._cache.put(key, response)
 
     # -- reporting -----------------------------------------------------------
 
@@ -588,11 +686,15 @@ class AssertService:
             stats.solved = self._solved
             stats.deduped = self._deduped
             stats.compile_errors = self._compile_errors
+            stats.timeouts = self._timeouts
         if self._cache is not None:
             stats.cache_hits = self._cache.hits
             stats.cache_misses = self._cache.misses
+            stats.cache_store_hits = self._cache.store_hits
             stats.cache_entries = len(self._cache)
             stats.cache_hit_rate = round(self._cache.hit_rate, 4)
+        if self._store is not None:
+            stats.store_entries = len(self._store)
         if self._batcher is not None:
             snap = self._batcher.stats.snapshot()
             stats.batches = snap["batches"]

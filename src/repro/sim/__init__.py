@@ -17,7 +17,7 @@ event-driven behaviour for the reset protocols our corpus uses (documented
 substitution: we do not model sub-cycle glitches).
 """
 
-from repro.sim.simulator import Simulator, SimulationError
+from repro.sim.simulator import SimulationError, Simulator
 from repro.sim.stimulus import Stimulus, reset_sequence
 from repro.sim.trace import Trace
 from repro.sim.values import FourState

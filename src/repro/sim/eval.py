@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.verilog import ast
 from repro.sim.values import FourState
+from repro.verilog import ast
 
 
 class EvalError(Exception):

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.verilog import ast
-from repro.verilog.elaborator import Design
 from repro.sim.eval import EvalError, Evaluator
 from repro.sim.stimulus import Stimulus, reset_values
 from repro.sim.trace import Trace
 from repro.sim.values import FourState
+from repro.verilog import ast
+from repro.verilog.elaborator import Design
 
 _MAX_SETTLE_ITERATIONS = 50
 

@@ -1,0 +1,325 @@
+"""Persistent content-addressed artifact store with crash-safe writes.
+
+On-disk layout (one file per artifact, sharded by key prefix)::
+
+    <root>/index.json                       eviction bookkeeping (advisory)
+    <root>/<namespace>/<key[:2]>/<key>      blob files
+    <root>/**/.tmp-*                        in-flight writes (never read)
+
+Every blob is ``header + pickle payload`` where the header records the
+payload's own SHA-256 and length::
+
+    repro-store/1 <payload_sha256_hex> <payload_len>\\n
+
+**Crash safety.**  Writes go to a tempfile in the destination directory
+and land via ``os.replace`` — readers observe either the old complete
+blob or the new complete blob, never a torn write, even across
+processes.  A crash mid-write leaves only a ``.tmp-*`` file, which reads
+ignore and eviction sweeps.
+
+**Integrity.**  Reads verify the header digest before unpickling.  A
+truncated, bit-flipped, or otherwise mangled entry is *quarantined*
+(deleted) and counted as a miss plus a ``corrupt`` tick — it never
+raises into the caller and is never served.
+
+**Eviction.**  The store keeps total blob bytes under ``max_bytes`` with
+least-recently-used eviction.  ``index.json`` persists the
+``path -> (size, last_used)`` bookkeeping across process restarts
+(rewritten atomically, throttled to every :data:`PERSIST_EVERY` puts);
+it is advisory only — reads always go straight to the blob path, and
+every instance reconciles the index against a directory scan at load,
+so a stale or corrupt index (e.g. after concurrent writers from two
+processes) can cost recent last-used times, never correctness and never
+the size budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.store.base import ArtifactStore, validate_key, validate_namespace
+
+_MAGIC = b"repro-store/1"
+_INDEX_NAME = "index.json"
+_TMP_PREFIX = ".tmp-"
+
+#: Default size budget: generous for test/bench corpora, small enough
+#: that a long-lived store on a dev box cannot grow without bound.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Persist the advisory index at most every this many puts (plus on
+#: eviction and clear): writes stay O(1) amortized instead of rewriting
+#: the whole index per put, and staleness is harmless because every
+#: instance reconciles against the filesystem at load.
+PERSIST_EVERY = 64
+
+
+def _encode(value: object) -> bytes:
+    payload = pickle.dumps(value, protocol=4)
+    header = b" ".join((_MAGIC,
+                        hashlib.sha256(payload).hexdigest().encode("ascii"),
+                        str(len(payload)).encode("ascii"))) + b"\n"
+    return header + payload
+
+
+def _decode(blob: bytes) -> Optional[Tuple[object]]:
+    """``(value,)`` when the blob verifies and unpickles, else ``None``."""
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return None
+    fields = blob[:newline].split(b" ")
+    if len(fields) != 3 or fields[0] != _MAGIC:
+        return None
+    payload = blob[newline + 1:]
+    try:
+        expected_len = int(fields[2])
+    except ValueError:
+        return None
+    if len(payload) != expected_len:
+        return None
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != fields[1]:
+        return None
+    try:
+        return (pickle.loads(payload),)
+    except Exception:  # noqa: BLE001 - schema drift is corruption, not a crash
+        return None
+
+
+class DiskStore(ArtifactStore):
+    """Content-addressed blob store rooted at one directory.
+
+    Safe for concurrent use by threads sharing one instance *and* by
+    independent instances (other processes, other hosts on a shared
+    filesystem) pointed at the same root: blob visibility is governed
+    entirely by atomic renames.
+    """
+
+    def __init__(self, root, max_bytes: int = DEFAULT_MAX_BYTES):
+        super().__init__()
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.write_errors = 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: relative blob path -> [size_bytes, last_used_unix]
+        self._index: Dict[str, List[float]] = {}
+        self._total_bytes = 0
+        self._unpersisted_puts = 0
+        self._load_index()
+
+    # -- paths ---------------------------------------------------------------
+
+    def _blob_path(self, namespace: str, key: str) -> Path:
+        namespace = validate_namespace(namespace)
+        key = validate_key(key)
+        return self.root / namespace / key[:2] / key
+
+    def _rel(self, path: Path) -> str:
+        return path.relative_to(self.root).as_posix()
+
+    # -- contract ------------------------------------------------------------
+
+    def get(self, namespace: str, key: str) -> Optional[object]:
+        path = self._blob_path(namespace, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        decoded = _decode(blob)
+        if decoded is None:
+            self._quarantine(path)
+            return None
+        now = time.time()
+        try:
+            os.utime(path, (now, now))
+        except OSError:  # pragma: no cover - entry raced away; still a hit
+            pass
+        with self._lock:
+            self.hits += 1
+            entry = self._index.get(self._rel(path))
+            if entry is not None:
+                entry[1] = now
+        return decoded[0]
+
+    def put(self, namespace: str, key: str, value: object) -> None:
+        """Atomically persist ``value``; best-effort on I/O failure.
+
+        A full disk or permission error counts in ``write_errors`` and
+        leaves the store no worse than before — callers always recompute
+        on a later miss, so a failed write must not take the pipeline
+        down with it.
+        """
+        path = self._blob_path(namespace, key)
+        blob = _encode(value)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(prefix=_TMP_PREFIX,
+                                            dir=path.parent)
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            with self._lock:
+                self.write_errors += 1
+            return
+        with self._lock:
+            self.writes += 1
+            rel = self._rel(path)
+            previous = self._index.get(rel)
+            if previous is not None:
+                self._total_bytes -= int(previous[0])
+            self._index[rel] = [len(blob), time.time()]
+            self._total_bytes += len(blob)
+            evicted = self._evict_locked()
+            self._unpersisted_puts += 1
+            if evicted or self._unpersisted_puts >= PERSIST_EVERY:
+                self._persist_index_locked()
+                self._unpersisted_puts = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    # -- integrity -----------------------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Remove a corrupt entry; it must never be served."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone / unremovable
+            pass
+        with self._lock:
+            self.misses += 1
+            self.corrupt += 1
+            entry = self._index.pop(self._rel(path), None)
+            if entry is not None:
+                self._total_bytes -= int(entry[0])
+
+    # -- eviction ------------------------------------------------------------
+
+    def _evict_locked(self) -> int:
+        if self._total_bytes <= self.max_bytes:
+            return 0
+        evicted = 0
+        by_age = sorted(self._index.items(), key=lambda item: item[1][1])
+        for rel, (size, _) in by_age:
+            if self._total_bytes <= self.max_bytes:
+                break
+            try:
+                (self.root / rel).unlink()
+            except OSError:  # pragma: no cover - another evictor won the race
+                pass
+            del self._index[rel]
+            self._total_bytes -= int(size)
+            self.evictions += 1
+            evicted += 1
+        return evicted
+
+    def _sweep_tmp(self) -> None:
+        """Remove stale in-flight files a crashed writer left behind."""
+        cutoff = time.time() - 3600.0
+        for tmp in self.root.rglob(f"{_TMP_PREFIX}*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:  # pragma: no cover - raced with its writer
+                pass
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total_bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            for rel in list(self._index):
+                try:
+                    (self.root / rel).unlink()
+                except OSError:  # pragma: no cover
+                    pass
+            self._index.clear()
+            self._total_bytes = 0
+            self._persist_index_locked()
+
+    # -- on-disk index -------------------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    def _load_index(self) -> None:
+        """Scan-then-merge: the filesystem is authoritative for *what*
+        exists (another handle — this run's second tier, another process
+        — may have written entries this index never saw, and trusting a
+        stale index would undercount ``_total_bytes`` and silently
+        disable eviction); the saved index only contributes last-used
+        times more recent than the file mtimes."""
+        saved: Dict[str, float] = {}
+        try:
+            data = json.loads(self._index_path().read_text())
+            entries = data["entries"]
+            assert isinstance(entries, dict)
+            saved = {str(rel): float(used)
+                     for rel, (_, used) in entries.items()}
+        except Exception:  # noqa: BLE001 - advisory data; the scan rules
+            saved = {}
+        self._rescan()
+        for rel, entry in self._index.items():
+            used = saved.get(rel)
+            if used is not None and used > entry[1]:
+                entry[1] = used
+        # Crash-cleanup once per handle, off the put/evict hot path: at
+        # steady state (store at budget) every put evicts, and a tree
+        # walk under the lock there would cost O(entries) per write.
+        self._sweep_tmp()
+
+    def _rescan(self) -> None:
+        index: Dict[str, List[float]] = {}
+        total = 0
+        for path in self.root.rglob("*"):
+            if not path.is_file() or path.name == _INDEX_NAME \
+                    or path.name.startswith(_TMP_PREFIX):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with an evictor
+                continue
+            index[self._rel(path)] = [stat.st_size, stat.st_mtime]
+            total += stat.st_size
+        self._index = index
+        self._total_bytes = total
+
+    def _persist_index_locked(self) -> None:
+        """Atomic best-effort rewrite; the filesystem stays authoritative."""
+        payload = json.dumps({"version": 1, "entries": self._index})
+        try:
+            fd, tmp_name = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=self.root)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._index_path())
+        except OSError:  # pragma: no cover - advisory data only
+            pass
+
+    # -- reporting -----------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        data = super().counters()
+        with self._lock:
+            data["write_errors"] = self.write_errors
+            data["total_bytes"] = self._total_bytes
+        return data

@@ -1,0 +1,55 @@
+"""In-memory artifact store: an entry-budgeted LRU over live objects.
+
+The default tier — no serialization, no I/O, process-local.  Used on its
+own it behaves like the existing in-memory caches; in front of a
+:class:`repro.store.disk.DiskStore` (see
+:class:`repro.store.tiered.TieredStore`) it absorbs the hot set so the
+disk tier only sees cold traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.store.base import ArtifactStore, validate_key, validate_namespace
+
+
+class MemoryStore(ArtifactStore):
+    """Thread-safe LRU of ``(namespace, key) -> object``."""
+
+    def __init__(self, max_entries: int = 4096):
+        super().__init__()
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+
+    def get(self, namespace: str, key: str) -> Optional[object]:
+        slot = (validate_namespace(namespace), validate_key(key))
+        with self._lock:
+            value = self._entries.get(slot)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(slot)
+            return value
+
+    def put(self, namespace: str, key: str, value: object) -> None:
+        slot = (validate_namespace(namespace), validate_key(key))
+        with self._lock:
+            self._entries[slot] = value
+            self._entries.move_to_end(slot)
+            self.writes += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,54 @@
+"""Two-tier store: a memory front absorbing the hot set over a disk back.
+
+``get`` promotes disk hits into the memory tier so repeats stay cheap;
+``put`` writes through to both tiers, so a memory eviction never loses
+data — the disk tier refills it on the next miss.  The tiered counters
+describe the *combined* view (a hit in either tier is a hit); each
+tier's own counters remain available through ``front`` / ``back``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.store.base import ArtifactStore
+
+
+class TieredStore(ArtifactStore):
+    """Memory-over-disk composition of two :class:`ArtifactStore` tiers."""
+
+    def __init__(self, front: ArtifactStore, back: ArtifactStore):
+        super().__init__()
+        self.front = front
+        self.back = back
+
+    def get(self, namespace: str, key: str) -> Optional[object]:
+        value = self.front.get(namespace, key)
+        if value is not None:
+            with self._lock:
+                self.hits += 1
+            return value
+        value = self.back.get(namespace, key)
+        if value is not None:
+            self.front.put(namespace, key, value)
+            with self._lock:
+                self.hits += 1
+            return value
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, namespace: str, key: str, value: object) -> None:
+        self.front.put(namespace, key, value)
+        self.back.put(namespace, key, value)
+        with self._lock:
+            self.writes += 1
+
+    def __len__(self) -> int:
+        return len(self.back)
+
+    def counters(self) -> Dict[str, int]:
+        data = super().counters()
+        data["front"] = self.front.counters()
+        data["back"] = self.back.counters()
+        return data

@@ -20,9 +20,9 @@ The property subset is the temporal layer parsed by
 ``disable iff``.
 """
 
-from repro.sva.monitor import AssertionFailure, check_assertions, check_trace
 from repro.sva.bmc import BmcConfig, BmcResult, bounded_check
 from repro.sva.mine import mine_invariant_hints
+from repro.sva.monitor import AssertionFailure, check_assertions, check_trace
 
 __all__ = [
     "AssertionFailure",

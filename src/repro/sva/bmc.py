@@ -21,7 +21,6 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional
 
-from repro.verilog.elaborator import Design
 from repro.sim.eval import EvalError
 from repro.sim.simulator import SimulationError, Simulator
 from repro.sim.stimulus import (
@@ -34,6 +33,7 @@ from repro.sim.stimulus import (
 )
 from repro.sim.trace import Trace
 from repro.sva.monitor import AssertionFailure, check_assertions
+from repro.verilog.elaborator import Design
 
 
 class BmcConfig:

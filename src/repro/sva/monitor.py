@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.verilog import ast
-from repro.verilog.elaborator import Design, ResolvedAssertion
 from repro.sim.eval import EvalError, Evaluator
 from repro.sim.trace import Trace
 from repro.sim.values import FourState
+from repro.verilog import ast
+from repro.verilog.elaborator import Design, ResolvedAssertion
 
 
 class AssertionFailure:

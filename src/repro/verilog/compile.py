@@ -24,6 +24,8 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.engine import metrics
+from repro.store.base import NS_COMPILE
+from repro.store.disk import DiskStore
 from repro.verilog import ast
 from repro.verilog.elaborator import Design, elaborate
 from repro.verilog.errors import Diagnostic, VerilogError
@@ -64,15 +66,26 @@ class CompileCache:
     Thread-safe; failures are cached too (a source that does not compile
     never will).  Counters are monotonic so deltas between snapshots are
     meaningful.
+
+    An optional ``store`` (any :class:`repro.store.ArtifactStore`) is the
+    persistent backing tier: a memory miss consults it before compiling,
+    and every fresh compile is written through, so compile artifacts
+    survive across runs and are shared by process-pool workers pointed at
+    the same store directory.  ``store_hits`` counts refills from it; the
+    invariant ``hits + store_hits + misses == lookups`` holds, and when a
+    store is attached its own hit/miss deltas equal ``store_hits`` plus
+    ``misses`` (every memory miss consults the store exactly once).
     """
 
-    def __init__(self, max_entries: int = 4096):
+    def __init__(self, max_entries: int = 4096, store=None):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.store = store
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
         self._entries: "OrderedDict[str, CompileResult]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -83,6 +96,13 @@ class CompileCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _insert_locked(self, key: str, result: CompileResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
     def get_or_compile(self, source_text: str) -> CompileResult:
         key = self.key(source_text)
         with self._lock:
@@ -91,28 +111,36 @@ class CompileCache:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 return cached
+        if self.store is not None:
+            stored = self.store.get(NS_COMPILE, key)
+            if stored is not None:
+                with self._lock:
+                    self.store_hits += 1
+                    self._insert_locked(key, stored)
+                return stored
+        with self._lock:
             self.misses += 1
         result = _compile_uncached(source_text)
         with self._lock:
-            self._entries[key] = result
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._insert_locked(key, result)
+        if self.store is not None:
+            self.store.put(NS_COMPILE, key, result)
         return result
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the backing store keeps its entries)."""
         with self._lock:
             self._entries.clear()
 
     def counters(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+                "evictions": self.evictions, "store_hits": self.store_hits}
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served without compiling (either tier)."""
+        total = self.hits + self.store_hits + self.misses
+        return (self.hits + self.store_hits) / total if total else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"CompileCache({len(self._entries)}/{self.max_entries} "
@@ -121,6 +149,8 @@ class CompileCache:
 
 _DEFAULT_CACHE = CompileCache()
 _CACHE_ENABLED = True
+_STORE_PATH = ""  # "" = no persistent tier
+_STORE_MAX_BYTES: Optional[int] = None
 
 
 def default_compile_cache() -> CompileCache:
@@ -128,18 +158,39 @@ def default_compile_cache() -> CompileCache:
 
 
 def configure_compile_cache(enabled: Optional[bool] = None,
-                            max_entries: Optional[int] = None):
+                            max_entries: Optional[int] = None,
+                            store_path: Optional[str] = None,
+                            store_max_bytes: Optional[int] = None):
     """Reconfigure the process-wide cache; returns the previous settings.
 
     Also used as a worker-pool initializer so subprocesses inherit the
-    pipeline's cache knobs.
+    pipeline's cache knobs — which is why every argument is a plain
+    picklable value.  ``store_path`` attaches a :class:`DiskStore` at
+    that directory as the cache's persistent tier (each process opens
+    its own handle; atomic blob writes make sharing safe); pass ``""``
+    to detach, ``None`` to leave the store settings unchanged.
+    ``store_max_bytes`` follows the same shape: ``None`` leaves the
+    budget unchanged and ``0`` resets it to the store default — so the
+    returned settings tuple always restores exactly.
     """
-    global _DEFAULT_CACHE, _CACHE_ENABLED
-    previous = (_CACHE_ENABLED, _DEFAULT_CACHE.max_entries)
+    global _DEFAULT_CACHE, _CACHE_ENABLED, _STORE_PATH, _STORE_MAX_BYTES
+    previous = (_CACHE_ENABLED, _DEFAULT_CACHE.max_entries, _STORE_PATH,
+                _STORE_MAX_BYTES or 0)
     if enabled is not None:
         _CACHE_ENABLED = bool(enabled)
-    if max_entries is not None and max_entries != _DEFAULT_CACHE.max_entries:
-        _DEFAULT_CACHE = CompileCache(max_entries=max_entries)
+    new_path = _STORE_PATH if store_path is None else str(store_path)
+    new_bytes = (_STORE_MAX_BYTES if store_max_bytes is None
+                 else (store_max_bytes or None))
+    new_entries = (_DEFAULT_CACHE.max_entries if max_entries is None
+                   else max_entries)
+    if (new_entries, new_path, new_bytes) != (
+            _DEFAULT_CACHE.max_entries, _STORE_PATH, _STORE_MAX_BYTES):
+        store = None
+        if new_path:
+            kwargs = {} if new_bytes is None else {"max_bytes": new_bytes}
+            store = DiskStore(new_path, **kwargs)
+        _STORE_PATH, _STORE_MAX_BYTES = new_path, new_bytes
+        _DEFAULT_CACHE = CompileCache(max_entries=new_entries, store=store)
     return previous
 
 

@@ -12,10 +12,10 @@ from repro.bugs.injector import BugInjector, single_line_diff
 from repro.bugs.mutators import enumerate_mutations
 from repro.bugs.taxonomy import (
     BUG_TYPE_ORDER,
+    TABLE1_ROWS,
     BugKind,
     Conditionality,
     Relation,
-    TABLE1_ROWS,
     length_bin_label,
     length_bin_of,
 )

@@ -4,8 +4,8 @@ compile caching, config validation, and the parallel==serial guarantee."""
 import pytest
 
 from repro.datagen.pipeline import (
-    DatagenConfig,
     VOLATILE_STAT_KEYS,
+    DatagenConfig,
     build_stage_graph,
     run_pipeline,
 )
@@ -175,7 +175,8 @@ class TestCompileCache:
         again = cache.get_or_compile(self.GOLDEN)
         assert first.ok
         assert again is first
-        assert cache.counters() == {"hits": 1, "misses": 1, "evictions": 0}
+        assert cache.counters() == {"hits": 1, "misses": 1,
+                                    "evictions": 0, "store_hits": 0}
         assert cache.hit_rate == 0.5
 
     def test_failures_cached_too(self):

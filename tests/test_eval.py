@@ -8,8 +8,8 @@ from repro.baselines.profiles import case_difficulty, get_profile
 from repro.eval.buckets import bucket_pass_at, bug_type_buckets, length_buckets
 from repro.eval.histogram import extremity_mass, histogram_series
 from repro.eval.passk import aggregate_pass_at_k, pass_at_k
-from repro.eval.runner import evaluate_model, is_correct
 from repro.eval.reporting import render_table1, render_table3, render_table4
+from repro.eval.runner import evaluate_model, is_correct
 from repro.model.assertsolver import SolverResponse
 
 

@@ -497,3 +497,59 @@ class TestMining:
         with AssertService(ServeConfig()) as service:
             response = service.solve(request, timeout=120)
         assert response.ok  # mined or empty, but never a crash
+
+
+class TestDeadlines:
+    """``SolveOptions.deadline_ms``: a request that exceeds its deadline —
+    waiting in the queue or riding a batch — resolves to a structured
+    ``timeout`` response instead of blocking ``result()`` forever."""
+
+    def test_expired_in_queue_resolves_to_timeout(self):
+        service = AssertService(ServeConfig(batch_window_ms=1.0))
+        request = fast_request(MINI_SOURCE, deadline_ms=10.0)
+        future = service.submit(request)
+        time.sleep(0.05)  # expires while the consumer is not yet running
+        try:
+            service.start()
+            response = future.result(timeout=10)
+        finally:
+            service.close()
+        assert response.status == "timeout"
+        assert not response.ok
+        assert "deadline" in response.error
+        assert response.request_key == request.cache_key()
+        assert service.stats().timeouts == 1
+
+    def test_generous_deadline_succeeds(self):
+        with AssertService(ServeConfig()) as service:
+            response = service.solve(
+                fast_request(MINI_SOURCE, deadline_ms=60_000.0), timeout=60)
+            assert response.ok
+            assert service.stats().timeouts == 0
+
+    def test_deadline_is_not_part_of_the_content_key(self):
+        tight = fast_request(MINI_SOURCE, deadline_ms=5.0)
+        loose = fast_request(MINI_SOURCE, deadline_ms=5_000.0)
+        plain = fast_request(MINI_SOURCE)
+        assert tight.cache_key() == loose.cache_key() == plain.cache_key()
+
+    def test_timeout_responses_are_not_cached(self):
+        service = AssertService(ServeConfig(batch_window_ms=1.0))
+        expired = service.submit(fast_request(MINI_SOURCE, deadline_ms=5.0))
+        time.sleep(0.05)
+        try:
+            service.start()
+            assert expired.result(timeout=10).status == "timeout"
+            # The same design solved afresh must not see a stale timeout.
+            clean = service.solve(fast_request(MINI_SOURCE), timeout=60)
+        finally:
+            service.close()
+        assert clean.ok
+        assert service.stats().timeouts == 1
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            SolveOptions(deadline_ms=0).validate()
+        with pytest.raises(ValueError, match="deadline_ms"):
+            SolveOptions(deadline_ms=-5.0).validate()
+        SolveOptions(deadline_ms=None).validate()  # default: no deadline

@@ -243,8 +243,9 @@ endmodule
 
 class TestDeterminism:
     def test_same_stimulus_same_trace(self, corpus_samples):
-        from repro.sim.stimulus import reset_sequence
         import random
+
+        from repro.sim.stimulus import reset_sequence
 
         for seed in corpus_samples[:4]:
             result = compile_source(seed.source)
