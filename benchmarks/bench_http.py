@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""HTTP-transport benchmark: what the network edge costs, same host.
+
+Replays one deterministic corpus-sampled request stream (see
+:mod:`repro.serve.loadgen`) against the serving layer twice — once
+through the in-process API, once through a live
+:class:`repro.serve.http.AssertHttpServer` on localhost — and once more
+through the transport with the result cache warm:
+
+- **inproc**     — concurrent clients on ``AssertService.submit`` (the
+  PR-3 path): the floor any transport is measured against;
+- **http**       — the identical stream through ``POST /v1/solve`` on a
+  freshly started localhost server (same ServeConfig, cache off);
+- **http_cold** / **http_warm** — the stream through the transport with
+  the result cache on, cold then 100%-repeat warm.
+
+Both gates are *same-host relative* (each side measured in this very
+run, so the ratios are portable across hosts, like every other bench):
+
+- ``http_p50 <= --max-overhead x inproc_p50`` (default 2x): the
+  transport may tax a request, not dominate it;
+- ``http_warm >= --min-cache-speedup x http_cold`` req/s (default 5x):
+  the cache win survives the network edge.
+
+Plus byte-determinism: every HTTP response body must re-serialize to
+exactly the in-process response for the same request content hash.
+Results land in ``BENCH_http.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_http.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.engine import available_cpus
+from repro.serve import (
+    AssertClient,
+    AssertHttpServer,
+    AssertService,
+    HttpConfig,
+    ServeConfig,
+    WorkloadSpec,
+    build_workload,
+    run_load,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _serve_config(args, result_cache: bool) -> ServeConfig:
+    return ServeConfig(
+        n_workers=args.workers, backend="auto",
+        max_queue=max(args.requests * 2, 64),
+        max_batch=args.max_batch,
+        batch_window_ms=args.window_ms,
+        result_cache=result_cache,
+        seed=args.seed)
+
+
+def _print(label: str, report, stats) -> None:
+    print(f"  {label:<10} {report.seconds:7.2f}s  "
+          f"{report.req_per_sec:7.1f} req/s  p50 {report.p50_ms:7.1f}ms  "
+          f"p95 {report.p95_ms:7.1f}ms  solved {stats.solved}  "
+          f"cache hits {stats.cache_hits}  errors {report.errors}")
+
+
+def run_bench(args) -> dict:
+    spec = WorkloadSpec(n_requests=args.requests,
+                        unique_designs=args.unique,
+                        seed=args.seed,
+                        bmc_depth=args.bmc_depth,
+                        bmc_random_trials=args.bmc_random_trials)
+    requests = build_workload(spec)
+    print(f"bench_http: {args.requests} requests over {args.unique} unique "
+          f"designs, concurrency={args.concurrency}, "
+          f"workers={args.workers}, cpus={available_cpus()}")
+
+    # -- in-process floor (cache off) ------------------------------------
+    service = AssertService(_serve_config(args, result_cache=False))
+    try:
+        inproc = run_load(service, requests, concurrency=args.concurrency,
+                          label="inproc")
+        inproc_stats = service.stats()
+    finally:
+        service.close()
+    _print("inproc", inproc, inproc_stats)
+
+    # -- same stream through the live HTTP server (cache off) ------------
+    with AssertHttpServer(
+            AssertService(_serve_config(args, result_cache=False)),
+            HttpConfig()) as server:
+        client = AssertClient.for_server(server)
+        http = run_load(client, requests, concurrency=args.concurrency,
+                        label="http")
+        http_stats = server.service.stats()
+    _print("http", http, http_stats)
+
+    # -- cache win through the transport ---------------------------------
+    with AssertHttpServer(
+            AssertService(_serve_config(args, result_cache=True)),
+            HttpConfig()) as server:
+        client = AssertClient.for_server(server)
+        http_cold = run_load(client, requests, concurrency=args.concurrency,
+                             label="http_cold")
+        cold_stats = server.service.stats()
+        _print("http_cold", http_cold, cold_stats)
+        http_warm = run_load(client, requests, concurrency=args.concurrency,
+                             label="http_warm")
+        warm_stats = server.service.stats()
+    _print("http_warm", http_warm, warm_stats)
+
+    responses_match = all(
+        a is not None and b is not None
+        and a.to_json() == b.to_json()
+        for a, b in zip(inproc.responses, http.responses))
+    overhead = (round(http.p50_ms / inproc.p50_ms, 3)
+                if inproc.p50_ms else 0.0)
+    cache_speedup = (round(http_warm.req_per_sec / http_cold.req_per_sec, 3)
+                     if http_cold.req_per_sec else 0.0)
+    clean = (inproc.errors == http.errors == http_cold.errors
+             == http_warm.errors == 0)
+
+    report = {
+        "benchmark": "http",
+        "n_requests": args.requests,
+        "unique_designs": args.unique,
+        "concurrency": args.concurrency,
+        "requested_workers": args.workers,
+        "cpu_count": available_cpus(),
+        "max_batch": args.max_batch,
+        "batch_window_ms": args.window_ms,
+        "inproc": inproc.to_dict(),
+        "http": http.to_dict(),
+        "http_cold": http_cold.to_dict(),
+        "http_warm": http_warm.to_dict(),
+        "http_p50_overhead": overhead,
+        "max_overhead": args.max_overhead,
+        "overhead_ok": bool(overhead and overhead <= args.max_overhead),
+        "cache_speedup": cache_speedup,
+        "min_cache_speedup": args.min_cache_speedup,
+        "cache_win": cache_speedup >= args.min_cache_speedup,
+        "responses_match": responses_match,
+        "no_errors": clean,
+        "http_stats": http_stats.to_dict(),
+        "http_warm_stats": warm_stats.to_dict(),
+        "unix_time": int(time.time()),
+    }
+    output = args.output or REPO_ROOT / "BENCH_http.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  http p50 overhead {overhead}x "
+          f"(ceiling {args.max_overhead}x), "
+          f"cache speedup through transport {cache_speedup}x "
+          f"(floor {args.min_cache_speedup}x), "
+          f"responses match: {responses_match} -> {output}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--unique", type=int, default=8)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--window-ms", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--bmc-depth", type=int, default=10)
+    parser.add_argument("--bmc-random-trials", type=int, default=24)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--max-overhead", type=float, default=2.0,
+                        help="allowed http/in-process p50 ratio, same host "
+                             "(0 disables the gate)")
+    parser.add_argument("--min-cache-speedup", type=float, default=5.0,
+                        help="required warm/cold req/s ratio through the "
+                             "transport (0 disables the gate)")
+    args = parser.parse_args()
+    report = run_bench(args)
+    if not report["responses_match"]:
+        print("  FATAL: HTTP responses diverge from in-process responses")
+        sys.exit(1)
+    if not report["no_errors"]:
+        print("  FATAL: load run recorded transport errors")
+        sys.exit(2)
+    if args.max_overhead > 0 and not report["overhead_ok"]:
+        print("  FATAL: HTTP p50 overhead above ceiling")
+        sys.exit(3)
+    if args.min_cache_speedup > 0 and not report["cache_win"]:
+        print("  FATAL: cache speedup through the transport below floor")
+        sys.exit(4)
+
+
+if __name__ == "__main__":
+    main()

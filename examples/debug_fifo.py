@@ -42,11 +42,11 @@ module fifo_track (
   property count_bounded;
     @(posedge clk) disable iff (!rst_n) count <= 4'd8;
   endproperty
-  count_bounded_assertion: assert property (count_bounded) else $error("occupancy exceeded the depth");
+  count_bounded_assertion: assert property (count_bounded) else $error("occupancy exceeded depth");
   property pop_guarded;
     @(posedge clk) disable iff (!rst_n) pop && !push && empty |-> ##1 count == 4'd0;
   endproperty
-  pop_guarded_assertion: assert property (pop_guarded) else $error("pop from empty must not underflow");
+  pop_guarded_assertion: assert property (pop_guarded) else $error("pop from empty underflowed");
 endmodule
 """
 

@@ -25,15 +25,16 @@ the paper on a pure-Python substrate:
 - :mod:`repro.eval` — the SVA-Eval benchmark, pass@k metrics and the
   experiment runners that regenerate every table and figure.
 - :mod:`repro.serve` — the online serving layer: an async micro-batching
-  assertion service with content-hash result caching and a load-test
-  harness.
+  assertion service with content-hash result caching, a stdlib
+  JSON-over-HTTP transport (server + client), and a load-test harness.
 - :mod:`repro.store` — the persistent content-addressed artifact store:
   crash-safe disk blobs under every cache, making datagen re-runs
   incremental and letting service fleets pool responses.
 """
 
 _API_EXPORTS = ("AssertSolverPipeline", "PipelineConfig")
-_SERVE_EXPORTS = ("AssertService", "ServeConfig", "SolveOptions",
+_SERVE_EXPORTS = ("AssertClient", "AssertHttpServer", "AssertService",
+                  "HttpConfig", "ServeConfig", "SolveOptions",
                   "SolveRequest")
 _STORE_EXPORTS = ("DiskStore", "MemoryStore", "StoreConfig", "TieredStore")
 __all__ = [*_API_EXPORTS, *_SERVE_EXPORTS, *_STORE_EXPORTS]

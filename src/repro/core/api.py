@@ -112,6 +112,18 @@ class PipelineConfig:
 
         return AssertService(self.serve(**overrides))
 
+    def serve_http(self, host: str = "127.0.0.1", port: int = 0,
+                   **overrides) -> "AssertHttpServer":
+        """An (unstarted) :class:`repro.serve.AssertHttpServer` fronting
+        :meth:`make_service`'s service — the one-liner from a batch
+        reproduction setup to a network service.  ``port=0`` binds an
+        ephemeral port (read it off ``server.port`` after ``start()``);
+        keyword overrides reach the underlying :class:`ServeConfig`."""
+        from repro.serve import AssertHttpServer, HttpConfig
+
+        return AssertHttpServer(self.make_service(**overrides),
+                                HttpConfig(host=host, port=port))
+
     def cache_key(self) -> tuple:
         # Semantic fields only: the execution knobs (n_workers, backend,
         # compile_cache) never change results, so they must not fork the

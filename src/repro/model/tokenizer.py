@@ -17,7 +17,8 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<num>\d+'[sS]?[bdohBDOH][0-9a-fA-FxXzZ_?]+|\d+)
   | (?P<id>[A-Za-z_$][A-Za-z0-9_$]*)
-  | (?P<op><<<|>>>|===|!==|\|=>|\|->|==|!=|<=|>=|&&|\|\||<<|>>|\*\*|\#\#|[-+*/%&|^~!<>=?:;,.(){}\[\]@#])
+  | (?P<op><<<|>>>|===|!==|\|=>|\|->|==|!=|<=|>=|&&|\|\||<<|>>|\*\*|\#\#
+          |[-+*/%&|^~!<>=?:;,.(){}\[\]@#])
     """,
     re.VERBOSE,
 )

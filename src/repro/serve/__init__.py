@@ -14,11 +14,25 @@ concurrent traffic:
   finished responses, so repeat designs skip compute entirely;
 - :mod:`repro.serve.loadgen` — deterministic corpus-sampled request
   streams and a latency/throughput harness (p50/p95, req/s) feeding
-  ``benchmarks/bench_serve.py``.
+  ``benchmarks/bench_serve.py`` and ``benchmarks/bench_http.py``;
+- :mod:`repro.serve.http` — :class:`AssertHttpServer`: the stdlib
+  JSON-over-HTTP transport (``POST /v1/solve``, ``GET /healthz`` /
+  ``/statsz``, ``DELETE /v1/solve/{request_id}``, graceful drain);
+- :mod:`repro.serve.client` — :class:`AssertClient` /
+  :class:`SolveHandle`: the wire twin of the in-process API, with
+  client-initiated cancellation.
 """
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.cache import ResultCache, content_key
+from repro.serve.client import AssertClient, ClientError, SolveHandle
+from repro.serve.http import (
+    AssertHttpServer,
+    HttpConfig,
+    request_from_json,
+    request_to_json,
+    response_from_json,
+)
 from repro.serve.loadgen import (
     LoadReport,
     WorkloadSpec,
@@ -39,8 +53,12 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "AssertClient",
+    "AssertHttpServer",
     "AssertService",
     "BatcherStats",
+    "ClientError",
+    "HttpConfig",
     "LoadReport",
     "MicroBatcher",
     "ResultCache",
@@ -49,12 +67,16 @@ __all__ = [
     "ServiceClosed",
     "ServiceOverloaded",
     "ServiceStats",
+    "SolveHandle",
     "SolveOptions",
     "SolveRequest",
     "SolveResponse",
     "WorkloadSpec",
     "build_workload",
     "content_key",
+    "request_from_json",
+    "request_to_json",
+    "response_from_json",
     "run_load",
     "solve_task",
 ]

@@ -1,0 +1,185 @@
+"""Stdlib HTTP client for the :mod:`repro.serve.http` transport.
+
+:class:`AssertClient` mirrors the in-process :class:`AssertService`
+surface over the wire — ``solve`` blocks, ``submit`` returns a
+:class:`SolveHandle` (the transport's stand-in for a ``Future``) with
+``result()`` *and* ``cancel()``, and backpressure surfaces as the same
+:class:`ServiceOverloaded` exception — so load generators and callers
+swap transports without changing shape.  Responses parse back into real
+:class:`SolveResponse` objects whose ``to_json()`` reproduces the wire
+body byte for byte.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import uuid
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import replace
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import quote
+
+from repro.serve.http import request_to_json, response_from_json
+from repro.serve.service import (
+    ServiceClosed,
+    ServiceOverloaded,
+    SolveRequest,
+    SolveResponse,
+)
+
+__all__ = ["AssertClient", "ClientError", "SolveHandle"]
+
+
+class ClientError(RuntimeError):
+    """An HTTP outcome with no structured mapping (5xx, surprises)."""
+
+    def __init__(self, status: int, body: str):
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class SolveHandle:
+    """One in-flight HTTP solve: the wire twin of a ``Future``.
+
+    ``result()`` joins the background request thread; ``cancel()``
+    issues ``DELETE /v1/solve/{request_id}`` — a queued request is
+    dropped server-side and the pending ``POST`` resolves to a
+    ``status="cancelled"`` response.
+    """
+
+    def __init__(self, client: "AssertClient", request: SolveRequest):
+        self._client = client
+        self.request_id = request.request_id
+        self._done = threading.Event()
+        self._response: Optional[SolveResponse] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, args=(request,),
+            name=f"solve-{self.request_id[:8]}", daemon=True)
+        self._thread.start()
+
+    def _run(self, request: SolveRequest) -> None:
+        try:
+            self._response = self._client.solve(request)
+        except BaseException as exc:  # noqa: BLE001 - delivered by result()
+            self._error = exc
+        finally:
+            self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> SolveResponse:
+        if not self._done.wait(timeout):
+            raise FutureTimeoutError(
+                f"no response within {timeout}s (request still in flight)")
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+    def cancel(self) -> int:
+        """Ask the server to cancel this request; returns how many
+        pending requests the tag matched (0 if already resolved)."""
+        return self._client.cancel(self.request_id)
+
+
+class AssertClient:
+    """Talks to one :class:`repro.serve.http.AssertHttpServer`.
+
+    Connections are opened per call — every method is safe to use from
+    many threads at once (the load generator drives one client with N
+    worker threads).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout_s: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def for_server(cls, server, timeout_s: float = 300.0) -> "AssertClient":
+        """A client aimed at a started :class:`AssertHttpServer`."""
+        host, port = server.address
+        return cls(host=host, port=port, timeout_s=timeout_s)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 timeout: Optional[float] = None
+                 ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout or self.timeout_s)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            lowered = {name.lower(): value
+                       for name, value in response.getheaders()}
+            return response.status, lowered, data
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _coerce(request: Union[SolveRequest, str]) -> SolveRequest:
+        return SolveRequest(request) if isinstance(request, str) else request
+
+    # -- the service surface, over the wire ----------------------------------
+
+    def solve(self, request: Union[SolveRequest, str],
+              timeout: Optional[float] = None) -> SolveResponse:
+        """One blocking round trip; structured statuses come back as
+        :class:`SolveResponse` objects, transport-level refusals raise
+        (:class:`ServiceOverloaded` for 429, :class:`ValueError` for
+        400/413, :class:`ServiceClosed` for 503).  Same signature as
+        :meth:`AssertService.solve`, so synchronous callers (like the
+        load generator) treat the two transports interchangeably."""
+        request = self._coerce(request)
+        status, headers, data = self._request(
+            "POST", "/v1/solve", request_to_json(request).encode("utf-8"),
+            timeout=timeout)
+        if status in (200, 422, 504, 409):
+            return response_from_json(data.decode("utf-8"))
+        if status == 429:
+            exc = ServiceOverloaded(data.decode("utf-8", "replace"))
+            exc.retry_after_s = float(headers.get("retry-after", 1.0))
+            raise exc
+        if status in (400, 413):
+            raise ValueError(f"request refused ({status}): "
+                             f"{data.decode('utf-8', 'replace')}")
+        if status == 503:
+            raise ServiceClosed(data.decode("utf-8", "replace"))
+        raise ClientError(status, data.decode("utf-8", "replace"))
+
+    def submit(self, request: Union[SolveRequest, str]) -> SolveHandle:
+        """Fire the solve on a background thread; the handle's
+        ``request_id`` (auto-assigned when the request carries none) is
+        the cancellation key."""
+        request = self._coerce(request)
+        if not request.request_id:
+            request = replace(request, request_id=uuid.uuid4().hex)
+        return SolveHandle(self, request)
+
+    def cancel(self, request_id: str) -> int:
+        status, _, data = self._request(
+            "DELETE", f"/v1/solve/{quote(request_id, safe='')}")
+        if status in (200, 404):
+            return int(json.loads(data)["cancelled"])
+        raise ClientError(status, data.decode("utf-8", "replace"))
+
+    def healthz(self) -> Dict[str, object]:
+        status, _, data = self._request("GET", "/healthz")
+        payload = json.loads(data)
+        payload["http_status"] = status
+        return payload
+
+    def statsz(self) -> Dict[str, object]:
+        status, _, data = self._request("GET", "/statsz")
+        if status != 200:
+            raise ClientError(status, data.decode("utf-8", "replace"))
+        return json.loads(data)

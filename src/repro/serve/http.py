@@ -1,0 +1,479 @@
+"""JSON-over-HTTP transport for :class:`repro.serve.AssertService`.
+
+The in-process API (``submit`` -> ``Future`` -> ``SolveResponse``) is
+the serving contract; this module puts a network edge in front of it
+using nothing but the standard library (``http.server``), so the
+reproduction runs as an actual service without growing a dependency:
+
+- ``POST /v1/solve``  — body :func:`request_to_json`; the response body
+  for a solved request is **exactly** ``SolveResponse.to_json()``, so
+  the bytes a client reads off the wire are identical to what the
+  in-process API serializes (asserted by the test suite — the transport
+  must not fork determinism).  Service statuses map onto HTTP codes:
+
+  ================  ====  =========================================
+  outcome           code  notes
+  ================  ====  =========================================
+  ``ok``            200
+  ``compile_error`` 422   structured compiler diagnostics in body
+  ``timeout``       504   ``deadline_ms`` lapsed (timer-enforced)
+  ``cancelled``     409   client issued ``DELETE`` mid-flight
+  queue full        429   ``Retry-After`` header (backpressure)
+  malformed body    400   bad JSON / wrong types / unknown options
+  oversized body    413   > ``HttpConfig.max_body_bytes``
+  draining/closed   503   shutdown in progress
+  ================  ====  =========================================
+
+- ``GET /healthz`` — liveness (``503`` + ``draining`` once shutdown
+  starts); ``GET /statsz`` — :meth:`AssertService.statsz` (the full
+  :class:`ServiceStats` snapshot incl. queue-depth/inflight gauges,
+  plus backing-store counters).
+- ``DELETE /v1/solve/{request_id}`` — client-initiated cancellation
+  (:meth:`AssertService.cancel`): queued requests are dropped, in-batch
+  ones abandoned (result cached, not delivered).
+- Graceful drain: :meth:`AssertHttpServer.close` stops accepting,
+  resolves every accepted request via the service's own drain, then
+  joins the handler threads — in-flight clients get real responses,
+  not resets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from socketserver import ThreadingMixIn
+from typing import Dict, Optional, Tuple
+from urllib.parse import unquote
+
+from repro.serve.service import (
+    AssertService,
+    ScoredProposal,
+    ServiceClosed,
+    ServiceOverloaded,
+    SolveOptions,
+    SolveRequest,
+    SolveResponse,
+)
+
+__all__ = [
+    "AssertHttpServer",
+    "HttpConfig",
+    "STATUS_HTTP_CODES",
+    "request_from_json",
+    "request_to_json",
+    "response_from_json",
+]
+
+#: SolveResponse.status -> HTTP status code (the transport's one table).
+STATUS_HTTP_CODES = {
+    "ok": 200,
+    "compile_error": 422,
+    "timeout": 504,
+    "cancelled": 409,
+}
+
+#: SolveOptions fields a request body may set (anything else is a 400).
+_OPTION_KEYS = ("hints", "mine_hints", "max_proposals", "hallucination_rate",
+                "bmc_depth", "bmc_random_trials", "deadline_ms")
+
+
+# -- wire codecs ---------------------------------------------------------------
+
+
+def request_to_json(request: SolveRequest) -> str:
+    """The ``POST /v1/solve`` body for ``request`` (all options explicit)."""
+    options = request.options
+    return json.dumps({
+        "design_source": request.design_source,
+        "request_id": request.request_id,
+        "options": {
+            "hints": [list(h) for h in options.hints],
+            "mine_hints": options.mine_hints,
+            "max_proposals": options.max_proposals,
+            "hallucination_rate": options.hallucination_rate,
+            "bmc_depth": options.bmc_depth,
+            "bmc_random_trials": options.bmc_random_trials,
+            "deadline_ms": options.deadline_ms,
+        },
+    }, sort_keys=True)
+
+
+def request_from_json(body: bytes) -> SolveRequest:
+    """Parse and validate a ``POST /v1/solve`` body.
+
+    Raises :class:`ValueError` (mapped to 400 by the handler) on
+    anything malformed: bad JSON, a non-object payload, a missing or
+    non-string ``design_source``, unknown option keys, or option values
+    :meth:`SolveOptions.validate` rejects."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"body must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - {"design_source", "request_id", "options"}
+    if unknown:
+        raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    source = payload.get("design_source")
+    if not isinstance(source, str) or not source:
+        raise ValueError("design_source must be a non-empty string")
+    request_id = payload.get("request_id", "")
+    if not isinstance(request_id, str):
+        raise ValueError(f"request_id must be a string, got {request_id!r}")
+
+    raw_options = payload.get("options", {})
+    if not isinstance(raw_options, dict):
+        raise ValueError(
+            f"options must be a JSON object, got {type(raw_options).__name__}")
+    unknown = set(raw_options) - set(_OPTION_KEYS)
+    if unknown:
+        raise ValueError(f"unknown option fields: {sorted(unknown)}")
+    fields = dict(raw_options)
+    if "hints" in fields:
+        hints = fields["hints"]
+        if not isinstance(hints, list):
+            raise ValueError("options.hints must be a list of 5-item lists")
+        fields["hints"] = tuple(
+            tuple(h) if isinstance(h, (list, tuple)) else h for h in hints)
+    options = SolveOptions(**fields)
+    options.validate()  # structured 400 here, never a stuck future later
+    return SolveRequest(source, options, request_id=request_id)
+
+
+def response_from_json(text: str) -> SolveResponse:
+    """Rebuild a :class:`SolveResponse` from a transported body.
+
+    Inverse of :meth:`SolveResponse.to_json`: re-serializing the result
+    reproduces the input byte for byte, which is what lets clients (and
+    tests) verify the transport never forked determinism."""
+    data = json.loads(text)
+    proposals = tuple(
+        ScoredProposal(p["name"], p["property"], p["assertion"],
+                       p["score"], p["origin"])
+        for p in data["proposals"])
+    return SolveResponse(data["status"], data["request_key"],
+                         proposals=proposals, rejected=data["rejected"],
+                         error=data["error"])
+
+
+# -- server --------------------------------------------------------------------
+
+
+@dataclass
+class HttpConfig:
+    """Transport knobs (the service's own knobs live in ``ServeConfig``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral: read the bound port off the server
+    #: Bodies above this are refused with 413 before being read.
+    max_body_bytes: int = 1 << 20
+    #: Server-side cap on how long one handler waits for a response when
+    #: the request carries no ``deadline_ms`` of its own.
+    default_timeout_s: float = 300.0
+    #: Backpressure hint sent in the 429 ``Retry-After`` header.
+    retry_after_s: float = 1.0
+    #: How long a drain waits for in-flight responses before answering
+    #: the stragglers 503.  With ``manage_service=True`` the service's
+    #: own (synchronous) drain resolves every future well inside this;
+    #: the bound exists so a server fronting an externally-owned service
+    #: that never resolves them cannot hang ``close()`` for
+    #: ``default_timeout_s`` per handler.
+    drain_grace_s: float = 30.0
+
+    def validate(self) -> None:
+        if not isinstance(self.port, int) or isinstance(self.port, bool) \
+                or not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be an integer in [0, 65535], "
+                             f"got {self.port!r}")
+        for name in ("max_body_bytes",):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError(
+                    f"{name} must be an integer >= 1, got {value!r}")
+        for name in ("default_timeout_s", "retry_after_s", "drain_grace_s"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value <= 0:
+                raise ValueError(
+                    f"{name} must be a number > 0, got {value!r}")
+
+
+class _DrainAbandoned(Exception):
+    """Internal: a drain outlived its grace while this handler waited."""
+
+
+class _ThreadedHTTPServer(ThreadingMixIn, HTTPServer):
+    """One thread per connection; non-daemon so ``server_close`` joins
+    them — that join is what makes the drain graceful."""
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    #: The socketserver default backlog of 5 drops SYNs under concurrent
+    #: load (clients then stall a full retransmit timeout or fail);
+    #: size it for a burst of every client connecting at once.
+    request_queue_size = 128
+
+    # Filled in by AssertHttpServer.start().
+    ctx: "AssertHttpServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+    #: Socket-read timeout: bounds how long an idle keep-alive
+    #: connection can stall the drain join.
+    timeout = 15
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # no stderr spam; /statsz is the observability surface
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def ctx(self) -> "AssertHttpServer":
+        return self.server.ctx
+
+    def _send_body(self, code: int, body: bytes,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_body(code, body, headers)
+
+    def _send_error_json(self, code: int, message: str,
+                         headers: Optional[Dict[str, str]] = None) -> None:
+        self._send_json(code, {"error": message}, headers)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/v1/solve":
+            self._send_error_json(404, f"no such endpoint: {self.path}")
+            return
+        ctx = self.ctx
+        if ctx.draining:
+            self.close_connection = True
+            self._send_error_json(503, "server is draining")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self.close_connection = True
+            self._send_error_json(400, "missing or invalid Content-Length")
+            return
+        if length > ctx.config.max_body_bytes:
+            # Refused unread: closing the connection is the only way to
+            # not choke on the rest of an oversized upload.
+            self.close_connection = True
+            self._send_error_json(
+                413, f"body of {length} bytes exceeds the "
+                     f"{ctx.config.max_body_bytes}-byte limit")
+            return
+        body = self.rfile.read(length)
+
+        try:
+            request = request_from_json(body)
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        try:
+            future = ctx.service.submit(request)
+        except ServiceOverloaded as exc:
+            retry_after = max(1, round(ctx.config.retry_after_s))
+            self._send_error_json(429, str(exc),
+                                  headers={"Retry-After": str(retry_after)})
+            return
+        except ServiceClosed:
+            self.close_connection = True
+            self._send_error_json(503, "service is closed")
+            return
+        except ValueError as exc:  # submit re-validates; belt and braces
+            self._send_error_json(400, str(exc))
+            return
+
+        try:
+            response = self._await(ctx, future, request)
+        except _DrainAbandoned:
+            self.close_connection = True
+            self._send_error_json(503, "server drained before the request "
+                                       "was served")
+            return
+        except ServiceClosed:
+            self.close_connection = True
+            self._send_error_json(503, "service closed mid-request")
+            return
+        except Exception as exc:  # noqa: BLE001 - surface, don't hang
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        code = STATUS_HTTP_CODES.get(response.status, 500)
+        # The body IS SolveResponse.to_json(): byte-identical to the
+        # in-process serialization for the same request content hash.
+        self._send_body(code, response.to_json().encode("utf-8"))
+
+    def _await(self, ctx: "AssertHttpServer", future,
+               request: SolveRequest) -> SolveResponse:
+        """Wait for the future in slices, so a drain can reclaim
+        handlers whose futures nobody will ever resolve (an
+        externally-owned, never-started service) instead of hanging
+        ``close()`` for the full wait budget."""
+        wait_deadline = time.monotonic() + ctx.config.default_timeout_s
+        while True:
+            remaining = wait_deadline - time.monotonic()
+            if remaining <= 0:
+                # The *server's* wait budget, not the request's
+                # deadline_ms (the deadline timer resolves those to
+                # status="timeout" well before this).  The future stays
+                # live: a late result is still cached for repeats.
+                return SolveResponse(
+                    "timeout", request.cache_key(),
+                    error=f"server wait budget of "
+                          f"{ctx.config.default_timeout_s}s exceeded")
+            try:
+                return future.result(timeout=min(0.25, remaining))
+            except FutureTimeoutError:
+                drained_for = ctx.drain_elapsed()
+                if drained_for is not None \
+                        and drained_for > ctx.config.drain_grace_s:
+                    raise _DrainAbandoned() from None
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        ctx = self.ctx
+        if self.path == "/healthz":
+            if ctx.draining:
+                self.close_connection = True
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ok"})
+        elif self.path == "/statsz":
+            self._send_json(200, ctx.service.statsz())
+        else:
+            self._send_error_json(404, f"no such endpoint: {self.path}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        prefix = "/v1/solve/"
+        if not self.path.startswith(prefix):
+            self._send_error_json(404, f"no such endpoint: {self.path}")
+            return
+        request_id = unquote(self.path[len(prefix):])
+        if not request_id:
+            self._send_error_json(400, "missing request_id")
+            return
+        cancelled = self.ctx.service.cancel(request_id)
+        self._send_json(200 if cancelled else 404,
+                        {"request_id": request_id, "cancelled": cancelled})
+
+
+class AssertHttpServer:
+    """A threaded HTTP front end over one :class:`AssertService`.
+
+    Lifecycle::
+
+        with AssertHttpServer(service) as server:
+            print(server.url)          # http://127.0.0.1:<bound port>
+            ...                        # clients talk to it
+        # close(): drain accepted requests, answer in-flight clients,
+        # then release sockets and threads.
+
+    With ``manage_service=True`` (default) the server starts and closes
+    the service with itself; pass ``False`` to front a service whose
+    lifecycle someone else owns.
+    """
+
+    def __init__(self, service: AssertService,
+                 config: Optional[HttpConfig] = None,
+                 manage_service: bool = True):
+        self.service = service
+        self.config = config or HttpConfig()
+        self.config.validate()
+        self.manage_service = manage_service
+        self.draining = False
+        self._drain_started: Optional[float] = None
+        self._httpd: Optional[_ThreadedHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AssertHttpServer":
+        if self._closed:
+            raise ServiceClosed("http server is closed")
+        if self._httpd is not None:
+            return self
+        if self.manage_service:
+            self.service.start()
+        self._httpd = _ThreadedHTTPServer(
+            (self.config.host, self.config.port), _Handler)
+        self._httpd.ctx = self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http-accept",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        host, port = self._httpd.server_address[:2]
+        return host, port
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Graceful drain: stop accepting, answer what was accepted.
+
+        Order matters — stop the accept loop first (no new work), then
+        close the service (its own drain resolves every accepted future,
+        so blocked handlers wake with real responses), and only then
+        join the handler threads and release the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        self.draining = True
+        self._drain_started = time.monotonic()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            if self._thread is not None:
+                self._thread.join(timeout=30)
+        if self.manage_service:
+            self.service.close()
+        if self._httpd is not None:
+            self._httpd.server_close()
+
+    def drain_elapsed(self) -> Optional[float]:
+        """Seconds since the drain began, or ``None`` while serving."""
+        if self._drain_started is None:
+            return None
+        return time.monotonic() - self._drain_started
+
+    def __enter__(self) -> "AssertHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -8,11 +8,16 @@ derives via :func:`repro.engine.rng.derive_seed` — so benches compare
 a small unique pool with repeats, the shape real serving traffic has
 (many users, few distinct hot designs).
 
-``run_load`` drives a service with a fixed client concurrency, measures
-per-request latency from ``submit()`` to ``Future.result()``, honours
+``run_load`` drives a target with a fixed client concurrency, measures
+per-request latency from ``submit()`` to ``result()``, honours
 backpressure (an overloaded queue is retried with a short pause, and
 counted), and reports p50/p95/max latency plus requests/sec in a
-:class:`LoadReport`.
+:class:`LoadReport`.  The target is anything with the service surface —
+an in-process :class:`AssertService` *or* an HTTP
+:class:`repro.serve.client.AssertClient` — so ``benchmarks/bench_http.py``
+can compare the two paths on identical request streams.  In-process
+submits raise :class:`ServiceOverloaded` synchronously; over HTTP the
+same exception surfaces at ``result()`` — both are retried and counted.
 """
 
 from __future__ import annotations
@@ -25,7 +30,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.corpus.generator import CorpusGenerator
 from repro.engine.rng import derive_rng, derive_seed
 from repro.serve.service import (
-    AssertService,
     ServiceOverloaded,
     SolveOptions,
     SolveRequest,
@@ -117,23 +121,28 @@ class LoadReport:
                 "backpressure_retries": self.backpressure_retries}
 
 
-def _submit_with_backoff(service: AssertService, request: SolveRequest,
-                         retry_wait_s: float) -> Tuple[object, int]:
-    """Submit, retrying on backpressure; returns (future, retries)."""
+def _solve_with_backoff(target, request: SolveRequest, timeout_s: float,
+                        retry_wait_s: float) -> Tuple[SolveResponse, int]:
+    """Solve synchronously, retrying on backpressure; returns
+    (response, retries).  Both transports expose the same blocking
+    ``solve(request, timeout)`` and raise :class:`ServiceOverloaded` on
+    a full queue — and the direct call keeps thread spawns out of the
+    latency the benches measure."""
     retries = 0
     while True:
         try:
-            return service.submit(request), retries
+            return target.solve(request, timeout_s), retries
         except ServiceOverloaded:
             retries += 1
             time.sleep(retry_wait_s)
 
 
-def run_load(service: AssertService, requests: List[SolveRequest],
+def run_load(service, requests: List[SolveRequest],
              concurrency: int = 1, label: str = "load",
              timeout_s: float = 300.0,
              retry_wait_s: float = 0.002) -> LoadReport:
-    """Drive ``service`` with ``concurrency`` synchronous clients.
+    """Drive ``service`` (or an HTTP client) with ``concurrency``
+    synchronous clients.
 
     ``concurrency=1`` is the sequential one-request-at-a-time baseline
     (no request ever has a batchmate); higher values model that many
@@ -142,7 +151,9 @@ def run_load(service: AssertService, requests: List[SolveRequest],
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
-    service.start()
+    start = getattr(service, "start", None)
+    if callable(start):
+        start()
     latencies_ms: List[float] = [0.0] * len(requests)
     responses: List[Optional[SolveResponse]] = [None] * len(requests)
     errors = 0
@@ -150,9 +161,8 @@ def run_load(service: AssertService, requests: List[SolveRequest],
 
     def client(index: int) -> int:
         started = time.perf_counter()
-        future, retries = _submit_with_backoff(service, requests[index],
-                                               retry_wait_s)
-        response = future.result(timeout=timeout_s)
+        response, retries = _solve_with_backoff(service, requests[index],
+                                                timeout_s, retry_wait_s)
         latencies_ms[index] = (time.perf_counter() - started) * 1000.0
         responses[index] = response
         return retries

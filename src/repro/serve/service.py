@@ -31,6 +31,8 @@ compiler's diagnostics.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import json
 import queue
 import threading
@@ -203,11 +205,13 @@ class ScoredProposal:
 class SolveResponse:
     """The deterministic result of one solve.
 
-    ``status`` is ``"ok"``, ``"compile_error"``, or ``"timeout"``: a
-    compile error carries the compiler's diagnostics in ``error``
-    (structured failure, not a crashed worker); a timeout means the
-    request exceeded its ``SolveOptions.deadline_ms`` before being
-    served (never cached — only the two deterministic statuses are).
+    ``status`` is ``"ok"``, ``"compile_error"``, ``"timeout"``, or
+    ``"cancelled"``: a compile error carries the compiler's diagnostics
+    in ``error`` (structured failure, not a crashed worker); a timeout
+    means the request exceeded its ``SolveOptions.deadline_ms`` before
+    being served; cancelled means the client abandoned it via
+    :meth:`AssertService.cancel`.  Only the two deterministic statuses
+    (``ok`` / ``compile_error``) are ever cached.
     ``request_key`` echoes the request's content
     key (design source + canonical options) so clients can correlate
     responses with submissions.  Deliberately carries no timing or host
@@ -389,7 +393,14 @@ class ServeConfig:
 
 @dataclass
 class ServiceStats:
-    """One consistent snapshot of every service counter."""
+    """One consistent snapshot of every service counter.
+
+    ``queue_depth`` / ``inflight`` / ``queue_capacity`` are the
+    saturation gauges: ``inflight`` counts requests accepted but not yet
+    resolved (queued, batching, or computing), so operators and load
+    tests can see pressure building *before* the bounded queue starts
+    returning 429s.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -399,6 +410,7 @@ class ServiceStats:
     deduped: int = 0
     compile_errors: int = 0
     timeouts: int = 0
+    cancelled: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_store_hits: int = 0
@@ -413,11 +425,123 @@ class ServiceStats:
     flush_timeout: int = 0
     flush_drain: int = 0
     queue_depth: int = 0
+    queue_capacity: int = 0
+    inflight: int = 0
     backend: str = "serial"
     n_workers: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
+
+
+class _Pending:
+    """One accepted request in flight.
+
+    The queue item handed to the batcher, the deadline-timer entry, and
+    the cancellation registry all reference the same ``_Pending``, so
+    whichever path resolves it first (flush, timer, cancel, close)
+    claims it atomically under the service lock — the losers see
+    ``claimed`` and back off instead of double-resolving the future.
+    """
+
+    __slots__ = ("request", "future", "expiry", "key", "claimed")
+
+    def __init__(self, request: SolveRequest, future: "Future",
+                 expiry: Optional[float]):
+        self.request = request
+        self.future = future
+        self.expiry = expiry  # time.monotonic() deadline, or None
+        self.key = request.cache_key()
+        self.claimed = False
+
+
+class _DeadlineTimer:
+    """Monotonic-deadline timer wheel for queued requests.
+
+    One daemon thread sleeps until the earliest registered expiry and
+    fires the service's expire callback on it — so a request whose
+    ``deadline_ms`` lapses *while it still waits in the queue* (or rides
+    a forming batch) resolves to a structured timeout the moment it
+    expires, instead of at the next batch flush.  The thread starts
+    lazily on the first deadline-carrying submit and wakes whenever a
+    new earliest deadline arrives.
+    """
+
+    #: Compact once at least this many resolved entries linger (and they
+    #: are the majority) — keeps discard() O(1) amortized.
+    COMPACT_FLOOR = 64
+
+    def __init__(self, expire):
+        self._expire = expire  # callback(_Pending)
+        self._heap: List[Tuple[float, int, _Pending]] = []
+        self._counter = itertools.count()
+        self._cond = threading.Condition()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._resolved = 0  # entries claimed elsewhere, still in the heap
+
+    def add(self, pending: _Pending) -> None:
+        with self._cond:
+            if self._closed:
+                return  # close() drains the queue and fails the future
+            heapq.heappush(self._heap,
+                           (pending.expiry, next(self._counter), pending))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="serve-deadline", daemon=True)
+                self._thread.start()
+            self._cond.notify()
+
+    def _run(self) -> None:
+        while True:
+            pending = None
+            with self._cond:
+                while pending is None:
+                    if self._closed:
+                        return
+                    if not self._heap:
+                        self._cond.wait()
+                        continue
+                    if self._heap[0][2].claimed:
+                        heapq.heappop(self._heap)  # resolved elsewhere
+                        self._resolved = max(0, self._resolved - 1)
+                        continue
+                    delay = self._heap[0][0] - time.monotonic()
+                    if delay <= 0:
+                        pending = heapq.heappop(self._heap)[2]
+                    else:
+                        self._cond.wait(delay)
+            # Fire outside the condition lock: the callback takes the
+            # service lock and resolves a future.
+            if not pending.claimed:
+                self._expire(pending)
+
+    def discard(self, pending: _Pending) -> None:
+        """Note that ``pending`` resolved without expiring.
+
+        Heaps cannot remove from the middle cheaply, so resolved entries
+        are left in place and filtered out in bulk once they are the
+        majority — otherwise a fleet of long-deadline requests that all
+        resolve in milliseconds would pin their (request + response)
+        payloads until each deadline lapsed."""
+        with self._cond:
+            self._resolved += 1
+            if self._resolved >= self.COMPACT_FLOOR \
+                    and self._resolved * 2 >= len(self._heap):
+                self._heap = [entry for entry in self._heap
+                              if not entry[2].claimed]
+                heapq.heapify(self._heap)
+                self._resolved = 0
+                self._cond.notify()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            thread, self._thread = self._thread, None
+            self._heap.clear()
+            self._cond.notify()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
 
 class AssertService:
@@ -444,8 +568,10 @@ class AssertService:
                        if self.config.result_cache else None)
         self._engine: Optional[ExecutionEngine] = None
         self._batcher: Optional[MicroBatcher] = None
+        self._timer = _DeadlineTimer(self._expire_pending)
         self._closed = False
         self._lock = threading.Lock()
+        self._by_id: Dict[str, List[_Pending]] = {}
         self._submitted = 0
         self._completed = 0
         self._rejected = 0
@@ -454,6 +580,7 @@ class AssertService:
         self._deduped = 0
         self._compile_errors = 0
         self._timeouts = 0
+        self._cancelled = 0
         self._previous_compile_cache: Optional[tuple] = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -493,18 +620,15 @@ class AssertService:
             self._closed = True
         if self._batcher is not None:
             self._batcher.stop()
+        self._timer.close()
         while True:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if isinstance(item, tuple):
-                future = item[1]
-                if not future.done():
-                    future.set_exception(ServiceClosed(
-                        "service closed before the request was served"))
-                    with self._lock:
-                        self._errors += 1
+            if isinstance(item, _Pending):
+                self._fail(item, ServiceClosed(
+                    "service closed before the request was served"))
         if self._engine is not None:
             self._engine.close()
         if self._previous_compile_cache is not None:
@@ -536,6 +660,7 @@ class AssertService:
         deadline = request.options.deadline_ms
         expiry = (time.monotonic() + deadline / 1000.0
                   if deadline is not None else None)
+        pending = _Pending(request, future, expiry)
         # Atomic closed-check + enqueue (put_nowait never blocks, so
         # holding the lock is safe): a submit can therefore never land
         # behind close()'s stop sentinel and be silently stranded.
@@ -543,14 +668,39 @@ class AssertService:
             if self._closed:
                 raise ServiceClosed("service is closed")
             try:
-                self._queue.put_nowait((request, future, expiry))
+                self._queue.put_nowait(pending)
             except queue.Full:
                 self._rejected += 1
                 raise ServiceOverloaded(
                     f"request queue full ({self.config.max_queue} pending)"
                 ) from None
             self._submitted += 1
+            if request.request_id:
+                self._by_id.setdefault(request.request_id, []).append(pending)
+        if expiry is not None:
+            self._timer.add(pending)
         return future
+
+    def cancel(self, request_id: str) -> int:
+        """Cancel every in-flight request tagged ``request_id``.
+
+        A still-queued request is dropped — its batch slot never
+        computes.  A request already riding a batch is abandoned: the
+        computed response still lands in the result cache (it is a valid
+        answer for future repeats) but is not delivered.  Either way the
+        client's future resolves immediately to a structured
+        ``status="cancelled"`` response.  Returns how many requests this
+        call cancelled (0 for an unknown — or empty — tag).
+        """
+        if not request_id:
+            return 0
+        with self._lock:
+            pendings = list(self._by_id.get(request_id, ()))
+        cancelled = 0
+        for pending in pendings:
+            if self._finish(pending, self._cancelled_response(pending.key)):
+                cancelled += 1
+        return cancelled
 
     def solve(self, request: Union[SolveRequest, str],
               timeout: Optional[float] = None) -> SolveResponse:
@@ -559,25 +709,61 @@ class AssertService:
             self.start()
         return self.submit(request).result(timeout)
 
-    # -- batch flush (batcher thread) ----------------------------------------
+    # -- resolution (exactly-once, any thread) -------------------------------
 
-    def _flush(self, batch: List[Tuple[SolveRequest, "Future", Optional[float]]],
-               reason: str) -> None:
-        """Serve one batch.  Must resolve every future, success or not:
-        a stranded future hangs its client forever, which is worse than
-        any error it could carry."""
+    def _finish(self, pending: _Pending, response: SolveResponse) -> bool:
+        """Resolve ``pending`` with ``response`` if nobody else has.
+
+        Exactly one resolver wins — flush, deadline timer, cancel, or
+        close — decided by the ``claimed`` flag under the service lock.
+        Counters update before the future resolves, so a client that
+        wakes from ``result()`` and immediately reads ``stats()`` sees
+        its own request counted."""
+        with self._lock:
+            if pending.claimed:
+                return False
+            pending.claimed = True
+            self._completed += 1
+            if response.status == "timeout":
+                self._timeouts += 1
+            elif response.status == "cancelled":
+                self._cancelled += 1
+            self._unregister_locked(pending)
+        if pending.expiry is not None and response.status != "timeout":
+            self._timer.discard(pending)
+        pending.future.set_result(response)
+        return True
+
+    def _fail(self, pending: _Pending, exc: BaseException) -> bool:
+        """Exception twin of :meth:`_finish` (same claim discipline)."""
+        with self._lock:
+            if pending.claimed:
+                return False
+            pending.claimed = True
+            self._errors += 1
+            self._unregister_locked(pending)
+        if pending.expiry is not None:
+            self._timer.discard(pending)
+        pending.future.set_exception(exc)
+        return True
+
+    def _unregister_locked(self, pending: _Pending) -> None:
+        request_id = pending.request.request_id
+        if not request_id:
+            return
+        waiters = self._by_id.get(request_id)
+        if waiters is None:
+            return
         try:
-            self._flush_inner(batch)
-        except BaseException as exc:  # noqa: BLE001
-            unresolved = 0
-            for item in batch:
-                future = item[1]
-                if not future.done():
-                    future.set_exception(exc)
-                    unresolved += 1
-            with self._lock:
-                self._errors += unresolved
-            raise  # let the batcher count the flush error too
+            waiters.remove(pending)
+        except ValueError:
+            pass
+        if not waiters:
+            del self._by_id[request_id]
+
+    def _expire_pending(self, pending: _Pending) -> None:
+        """Timer callback: the deadline lapsed before anything served it."""
+        self._finish(pending, self._timeout_response(pending.key))
 
     @staticmethod
     def _timeout_response(key: str) -> SolveResponse:
@@ -585,85 +771,83 @@ class AssertService:
             "timeout", key,
             error="deadline_ms exceeded before the request was served")
 
-    def _flush_inner(self, batch: List[Tuple[SolveRequest, "Future",
-                                             Optional[float]]]) -> None:
-        # Requests already past their deadline resolve to a structured
-        # timeout immediately — before any compute is spent on them.
-        now = time.monotonic()
-        timeouts = 0
-        # Group by content key: duplicates in one window are solved once.
-        groups: "OrderedDict[str, List]" = OrderedDict()
-        requests: Dict[str, SolveRequest] = {}
-        for request, future, expiry in batch:
-            key = request.cache_key()
-            if expiry is not None and now > expiry:
-                future.set_result(self._timeout_response(key))
-                timeouts += 1
-                continue
-            groups.setdefault(key, []).append((future, expiry))
-            requests.setdefault(key, request)
+    @staticmethod
+    def _cancelled_response(key: str) -> SolveResponse:
+        return SolveResponse("cancelled", key, error="cancelled by client")
 
+    # -- batch flush (batcher thread) ----------------------------------------
+
+    def _flush(self, batch: List[_Pending], reason: str) -> None:
+        """Serve one batch.  Must resolve every future, success or not:
+        a stranded future hangs its client forever, which is worse than
+        any error it could carry."""
+        try:
+            self._flush_inner(batch)
+        except BaseException as exc:  # noqa: BLE001
+            for pending in batch:
+                self._fail(pending, exc)
+            raise  # let the batcher count the flush error too
+
+    def _flush_inner(self, batch: List[_Pending]) -> None:
+        # Requests the deadline timer or a cancellation already resolved
+        # drop out here, and a key all of whose waiters are gone is
+        # never computed at all — a queued cancel or expiry saves its
+        # compute entirely.
+        groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
+        for pending in batch:
+            if pending.future.done():
+                continue
+            groups.setdefault(pending.key, []).append(pending)
+
+        dedup_extra = (sum(len(waiters) for waiters in groups.values())
+                       - len(groups))
         misses: List[str] = []
-        hit_futures = 0
-        for key in groups:
+        for key, waiters in groups.items():
             cached = self._cache.get(key) if self._cache is not None else None
             if cached is not None:
                 # Resolve hits now: a microsecond lookup must not wait
                 # behind the batch's slowest cache-miss solve.
-                for future, _ in groups[key]:
-                    future.set_result(cached)
-                hit_futures += len(groups[key])
+                for pending in waiters:
+                    self._finish(pending, cached)
             else:
                 misses.append(key)
 
-        dedup_extra = (sum(len(waiters) for waiters in groups.values())
-                       - len(groups))
         tasks = [SolveTask(key=key,
-                           design_source=requests[key].design_source,
-                           options=requests[key].options,
+                           design_source=groups[key][0].request.design_source,
+                           options=groups[key][0].request.options,
                            seed=self.config.seed)
                  for key in misses]
+        with self._lock:
+            self._deduped += dedup_extra
         try:
             results = (self._engine.map(solve_task, tasks, stage="serve")
                        if tasks else [])
         except BaseException as exc:  # noqa: BLE001 - fail futures, not thread
             for key in misses:
-                for future, _ in groups[key]:
-                    future.set_exception(exc)
-            with self._lock:
-                self._errors += sum(len(groups[k]) for k in misses)
-                self._completed += hit_futures + timeouts
-                self._deduped += dedup_extra
-                self._timeouts += timeouts
+                for pending in groups[key]:
+                    self._fail(pending, exc)
             return
 
-        # Decide every outcome first, update the counters, and only then
-        # resolve futures: a client that wakes from ``result()`` and
-        # immediately reads ``stats()`` must see its own request counted.
-        compile_errors = 0
-        done = time.monotonic()
-        resolutions: List[Tuple["Future", SolveResponse]] = []
-        for key, response in zip(misses, results):
-            if not response.ok:
-                compile_errors += 1
-            for future, expiry in groups[key]:
-                if expiry is not None and done > expiry:
-                    resolutions.append((future, self._timeout_response(key)))
-                    timeouts += 1
-                else:
-                    resolutions.append((future, response))
+        compile_errors = sum(1 for response in results if not response.ok)
         with self._lock:
-            self._completed += len(batch)
             self._solved += len(tasks)
-            self._deduped += dedup_extra
             self._compile_errors += compile_errors
-            self._timeouts += timeouts
-        for future, value in resolutions:
-            future.set_result(value)
+        now = time.monotonic()
+        for key, response in zip(misses, results):
+            for pending in groups[key]:
+                # Belt and braces: the timer normally fires first, but a
+                # deadline that lapsed mid-compute must never see its
+                # response delivered late just because the timer thread
+                # has not been scheduled yet.
+                if pending.expiry is not None and now > pending.expiry:
+                    self._finish(pending, self._timeout_response(key))
+                else:
+                    self._finish(pending, response)
         # Write-through last: a disk-backed cache put (pickle + rename +
         # index bookkeeping) must not sit on the response critical path.
         # The computed response is valid and cacheable even when its own
-        # waiters timed out mid-batch — a later repeat hits it.
+        # waiters timed out or were cancelled mid-batch — a later repeat
+        # hits it.
         if self._cache is not None:
             for key, response in zip(misses, results):
                 self._cache.put(key, response)
@@ -687,6 +871,9 @@ class AssertService:
             stats.deduped = self._deduped
             stats.compile_errors = self._compile_errors
             stats.timeouts = self._timeouts
+            stats.cancelled = self._cancelled
+            stats.inflight = max(
+                0, self._submitted - self._completed - self._errors)
         if self._cache is not None:
             stats.cache_hits = self._cache.hits
             stats.cache_misses = self._cache.misses
@@ -705,7 +892,21 @@ class AssertService:
             stats.flush_timeout = snap["flush_reasons"]["timeout"]
             stats.flush_drain = snap["flush_reasons"]["drain"]
         stats.queue_depth = self._queue.qsize()
+        stats.queue_capacity = self.config.max_queue
         if self._engine is not None:
             stats.backend = self._engine.backend
             stats.n_workers = self._engine.n_workers
         return stats
+
+    def statsz(self) -> Dict[str, object]:
+        """The operator payload behind ``GET /statsz``: the full
+        :class:`ServiceStats` snapshot plus the backing store's own
+        counters (hit/miss/write/evict/corrupt) when one is attached."""
+        payload: Dict[str, object] = {"service": self.stats().to_dict()}
+        if self._store is not None:
+            store_info = dict(self._store.counters())
+            store_info["entries"] = len(self._store)
+            payload["store"] = store_info
+        else:
+            payload["store"] = None
+        return payload

@@ -18,7 +18,12 @@ Public API:
 """
 
 from repro.verilog.compile import CompileResult, compile_source
-from repro.verilog.errors import VerilogError, VerilogLexError, VerilogParseError, VerilogSemanticError
+from repro.verilog.errors import (
+    VerilogError,
+    VerilogLexError,
+    VerilogParseError,
+    VerilogSemanticError,
+)
 from repro.verilog.parser import parse_source
 from repro.verilog.writer import write_module
 

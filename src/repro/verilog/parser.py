@@ -525,7 +525,8 @@ class Parser:
         self.expect_kw("endproperty")
         return ast.PropertyDecl(name, clock, disable, body, line=start.line)
 
-    def parse_property_spec(self) -> Tuple[Optional[ast.EdgeSpec], Optional[ast.Expr], ast.PropExpr]:
+    def parse_property_spec(self) -> Tuple[Optional[ast.EdgeSpec],
+                                           Optional[ast.Expr], ast.PropExpr]:
         clock = None
         if self.accept_op("@"):
             self.expect_op("(")

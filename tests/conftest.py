@@ -42,7 +42,7 @@ module accu (
   property valid_out_check;
     @(posedge clk) disable iff (!rst_n) end_cnt |-> ##1 valid_out == 1;
   endproperty
-  valid_out_check_assertion: assert property (valid_out_check) else $error("valid_out should be high when end_cnt high");
+  valid_out_check_assertion: assert property (valid_out_check) else $error("valid_out not high");
 endmodule
 """
 

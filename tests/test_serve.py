@@ -15,6 +15,7 @@ Covers the edge cases the serving contract promises:
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -553,3 +554,180 @@ class TestDeadlines:
         with pytest.raises(ValueError, match="deadline_ms"):
             SolveOptions(deadline_ms=-5.0).validate()
         SolveOptions(deadline_ms=None).validate()  # default: no deadline
+
+
+class TestTimerDeadlines:
+    """The monotonic-deadline timer wheel: an expired request fails
+    *while it still waits* — before any batch flush, even before the
+    service starts — instead of at flush time (PR 4's first cut)."""
+
+    def test_queued_expiry_fires_before_any_flush(self):
+        # Batch window and size chosen so no flush can possibly happen
+        # before the deadline: only the timer can resolve this future.
+        config = ServeConfig(max_batch=64, batch_window_ms=30_000)
+        with AssertService(config) as service:
+            future = service.submit(
+                fast_request(MINI_SOURCE, deadline_ms=30.0))
+            response = future.result(timeout=5)
+            stats = service.stats()
+        assert response.status == "timeout"
+        assert "deadline" in response.error
+        assert stats.batches == 0  # timer-driven: no flush had occurred
+        assert stats.timeouts == 1
+
+    def test_expiry_fires_even_before_start(self):
+        # The timer starts with the first deadline-carrying submit, not
+        # with the consumer: a never-started service still times out.
+        service = AssertService(ServeConfig())
+        try:
+            future = service.submit(
+                fast_request(MINI_SOURCE, deadline_ms=20.0))
+            response = future.result(timeout=5)
+            assert response.status == "timeout"
+            assert service.stats().timeouts == 1
+        finally:
+            service.close()
+
+    def test_expired_request_is_never_computed(self):
+        # The dead entry still travels through the queue, but its batch
+        # slot must not waste compute on a response nobody will get.
+        service = AssertService(ServeConfig(batch_window_ms=1.0))
+        future = service.submit(fast_request(MINI_SOURCE, deadline_ms=5.0))
+        assert future.result(timeout=5).status == "timeout"
+        try:
+            service.start()
+            deadline = time.monotonic() + 5
+            while service.stats().batches < 1 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert service.stats().solved == 0
+        finally:
+            service.close()
+
+
+class TestCancellation:
+    """Client-initiated cancellation via ``AssertService.cancel``."""
+
+    def tagged(self, request_id: str) -> SolveRequest:
+        return SolveRequest(MINI_SOURCE, SolveOptions(**FAST),
+                            request_id=request_id)
+
+    def test_cancel_queued_request_drops_it(self):
+        service = AssertService(ServeConfig())  # not started: stays queued
+        request = self.tagged("job-1")
+        future = service.submit(request)
+        assert service.cancel("job-1") == 1
+        response = future.result(timeout=5)
+        assert response.status == "cancelled"
+        assert not response.ok
+        assert response.request_key == request.cache_key()
+        try:
+            service.start()
+            deadline = time.monotonic() + 5
+            while service.stats().batches < 1 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            stats = service.stats()
+            assert stats.cancelled == 1
+            assert stats.solved == 0  # dropped before any compute
+            assert stats.inflight == 0
+        finally:
+            service.close()
+
+    def test_cancel_unknown_or_untagged(self):
+        service = AssertService(ServeConfig())
+        try:
+            service.submit(fast_request(MINI_SOURCE))  # no request_id
+            assert service.cancel("nope") == 0
+            assert service.cancel("") == 0
+        finally:
+            service.close()
+
+    def test_cancel_resolves_each_request_once(self):
+        service = AssertService(ServeConfig())
+        try:
+            service.submit(self.tagged("dup"))
+            service.submit(self.tagged("dup"))
+            assert service.cancel("dup") == 2
+            assert service.cancel("dup") == 0  # nothing left to cancel
+            assert service.stats().cancelled == 2
+        finally:
+            service.close()
+
+    def test_cancel_racing_batch_is_cached_but_not_delivered(self):
+        # Cancel lands after the batch formed and compute began: the
+        # client's future resolves to ``cancelled`` immediately, while
+        # the computed response still lands in the result cache — it is
+        # a valid answer for future repeats of the same content.
+        config = ServeConfig(batch_window_ms=1.0, result_cache=True)
+        service = AssertService(config).start()
+        try:
+            real_map = service._engine.map
+            compute_started = threading.Event()
+            release = threading.Event()
+
+            def gated_map(fn, tasks, **kwargs):
+                compute_started.set()
+                assert release.wait(10), "flush never released"
+                return real_map(fn, tasks, **kwargs)
+
+            service._engine.map = gated_map
+            future = service.submit(self.tagged("race"))
+            assert compute_started.wait(10)  # batch formed, compute running
+            assert service.cancel("race") == 1
+            assert future.result(timeout=5).status == "cancelled"
+            release.set()
+            deadline = time.monotonic() + 10
+            while service.stats().solved < 1 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            service._engine.map = real_map
+            # The abandoned response was cached: a repeat of the same
+            # content is a cache hit, not a recompute.
+            repeat = service.solve(fast_request(MINI_SOURCE), timeout=60)
+            stats = service.stats()
+        finally:
+            service.close()
+        assert repeat.ok
+        assert stats.solved == 1
+        assert stats.cache_hits == 1
+        assert stats.cancelled == 1
+
+
+class TestSaturationGauges:
+    def test_inflight_and_capacity_gauges(self):
+        service = AssertService(ServeConfig(max_queue=8))
+        futures = [service.submit(fast_request(MINI_SOURCE))
+                   for _ in range(3)]
+        stats = service.stats()
+        assert stats.inflight == 3  # accepted, nothing resolved yet
+        assert stats.queue_depth == 3
+        assert stats.queue_capacity == 8
+        try:
+            service.start()
+            for future in futures:
+                assert future.result(timeout=60).ok
+            assert service.stats().inflight == 0
+        finally:
+            service.close()
+
+    def test_statsz_payload_without_store(self):
+        with AssertService(ServeConfig()) as service:
+            service.solve(fast_request(MINI_SOURCE), timeout=60)
+            payload = service.statsz()
+        assert payload["store"] is None
+        for gauge in ("inflight", "queue_depth", "queue_capacity",
+                      "cancelled", "timeouts", "submitted"):
+            assert gauge in payload["service"]
+
+    def test_statsz_payload_with_store(self):
+        from repro.store import StoreConfig
+
+        config = ServeConfig(store=StoreConfig())
+        with AssertService(config) as service:
+            service.solve(fast_request(MINI_SOURCE), timeout=60)
+            payload = service.statsz()
+        store_info = payload["store"]
+        assert store_info is not None
+        for counter in ("hits", "misses", "writes", "entries"):
+            assert counter in store_info

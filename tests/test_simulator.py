@@ -97,7 +97,8 @@ endmodule
 class TestCombinational:
     def test_assign_settles(self):
         source = """
-module comb (input [3:0] a, input [3:0] b, output wire [3:0] x, output wire [3:0] y, input clk, input rst_n);
+module comb (input [3:0] a, input [3:0] b, output wire [3:0] x,
+             output wire [3:0] y, input clk, input rst_n);
   assign x = a & b;
   assign y = x | 4'd1;
 endmodule
@@ -108,7 +109,8 @@ endmodule
 
     def test_comb_always_block(self):
         source = """
-module comb2 (input [1:0] sel, input [3:0] a, input [3:0] b, output reg [3:0] out, input clk, input rst_n);
+module comb2 (input [1:0] sel, input [3:0] a, input [3:0] b,
+              output reg [3:0] out, input clk, input rst_n);
   always @(*) begin
     if (sel == 2'd0) out = a;
     else out = b;
