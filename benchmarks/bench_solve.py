@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Solve-path throughput benchmark: compiled tier vs AST interpreter.
+
+Times :func:`repro.serve.solve_task` over a fixed corpus workload twice —
+
+- **interp**: ``sim_mode="interp"``, the AST-walking execution model
+  (per-cycle ``Evaluator`` dispatch for RTL and property evaluation);
+- **compiled**: ``sim_mode="compiled"``, the closure-program tier
+  (:mod:`repro.sim.compiled`): the design is lowered once, simulation
+  and SVA monitoring run dispatch-free.
+
+Both tiers must produce **byte-identical** ``SolveResponse.to_json()``
+bodies; the benchmark exits 1 the moment they diverge.  Compile and
+program caches are warmed before timing so the measurement isolates the
+execution tier, and each setting is run ``--repeats`` times with the
+best time kept.
+
+Writes ``BENCH_solve.json`` (wall seconds, designs/sec per mode,
+speedup, per-phase profile deltas, byte-identity) so the perf
+trajectory is tracked across PRs.
+
+Gate: ``--min-speedup X`` fails (exit 2) unless compiled beats interp
+by at least ``X`` in this same run on this same host — a relative,
+hardware-portable measure, like ``bench_pipeline_speed``'s gate.  The
+dev-host target is 3.0; CI uses 2.0 (shared runners are noisy).
+
+Run:  PYTHONPATH=src python benchmarks/bench_solve.py --min-speedup 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.corpus.generator import CorpusGenerator
+from repro.engine import metrics
+from repro.serve import SolveOptions, solve_task
+from repro.serve.service import SolveTask
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Phases charged by the solve hot path (``metrics.add_time``).
+PHASES = ("compile_program", "simulate", "monitor", "bmc")
+
+
+def build_tasks(n_designs: int, seed: int, mode: str,
+                depth: int, trials: int) -> list:
+    seeds = CorpusGenerator(seed=seed).generate(n_designs)
+    return [SolveTask(f"bench_{index}", s.source,
+                      SolveOptions.for_design(s, bmc_depth=depth,
+                                              bmc_random_trials=trials),
+                      seed, sim_mode=mode)
+            for index, s in enumerate(seeds)]
+
+
+def time_mode(label: str, tasks: list, repeats: int) -> dict:
+    # Warm-up pass: populates the compile cache and (for the compiled
+    # tier) the per-design program cache, and provides the reference
+    # responses for the byte-identity check.
+    reference = [solve_task(task).to_json() for task in tasks]
+    before = metrics.profile_counters()
+    best_seconds = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        bodies = [solve_task(task).to_json() for task in tasks]
+        elapsed = time.perf_counter() - started
+        if bodies != reference:
+            print(f"  FATAL: {label} responses changed between repeats")
+            sys.exit(1)
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    after = metrics.profile_counters()
+    profile = {key: after.get(key, 0) - before.get(key, 0)
+               for key in (f"{phase}_us" for phase in PHASES)}
+    rate = len(tasks) / best_seconds
+    print(f"  {label:<9} {best_seconds:7.3f}s  {rate:7.1f} designs/s  "
+          + "  ".join(f"{phase}={profile[f'{phase}_us'] / 1e6:.2f}s"
+                      for phase in PHASES))
+    return {
+        "seconds": round(best_seconds, 4),
+        "designs_per_sec": round(rate, 3),
+        "profile_us": profile,
+        "responses": reference,
+    }
+
+
+def run_bench(n_designs: int = 16, seed: int = 2025, repeats: int = 3,
+              depth: int = 10, trials: int = 24,
+              output: Path = None) -> dict:
+    print(f"bench_solve: n_designs={n_designs}, bmc_depth={depth}, "
+          f"bmc_random_trials={trials}, repeats={repeats}")
+    interp = time_mode("interp", build_tasks(
+        n_designs, seed, "interp", depth, trials), repeats)
+    compiled = time_mode("compiled", build_tasks(
+        n_designs, seed, "compiled", depth, trials), repeats)
+
+    identical = interp.pop("responses") == compiled.pop("responses")
+    report = {
+        "benchmark": "solve_speed",
+        "n_designs": n_designs,
+        "bmc_depth": depth,
+        "bmc_random_trials": trials,
+        "repeats": repeats,
+        "interp": interp,
+        "compiled": compiled,
+        "speedup": round(interp["seconds"] / compiled["seconds"], 3),
+        "responses_identical": identical,
+        "unix_time": int(time.time()),
+    }
+    output = output or REPO_ROOT / "BENCH_solve.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  speedup {report['speedup']}x, responses identical: "
+          f"{identical} -> {output}")
+    return report
+
+
+def check_speedup(report: dict, min_speedup: float) -> bool:
+    """Same-host relative gate: the compiled tier must beat the
+    interpreter by ``min_speedup`` in this very run."""
+    speedup = report["speedup"]
+    verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+    print(f"  speedup gate: {speedup:.3f}x vs required "
+          f"{min_speedup:.2f}x (same host, same run) -> {verdict}")
+    return speedup >= min_speedup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--depth", type=int, default=10)
+    parser.add_argument("--trials", type=int, default=24)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="required compiled-vs-interp speedup measured "
+                             "in this run (0 disables; CI uses 2.0)")
+    args = parser.parse_args()
+    report = run_bench(n_designs=args.designs, seed=args.seed,
+                       repeats=args.repeats, depth=args.depth,
+                       trials=args.trials, output=args.output)
+    if not report["responses_identical"]:
+        print("  FATAL: compiled and interp responses diverge")
+        sys.exit(1)
+    if args.min_speedup > 0 and not check_speedup(report, args.min_speedup):
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ import argparse
 import sys
 
 from repro.datagen.pipeline import DatagenConfig, run_pipeline
+from repro.sim.compiled import SIM_MODES
 
 
 def main() -> int:
@@ -25,14 +26,19 @@ def main() -> int:
     parser.add_argument("--designs", type=int, default=16)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--sim-mode", choices=SIM_MODES, default="compiled",
+                        help="execution tier for both runs; any choice must "
+                             "yield the same fingerprint (the CI matrix "
+                             "runs both)")
     args = parser.parse_args()
 
     common = dict(n_designs=args.designs, bugs_per_design=2, seed=args.seed,
-                  bmc_depth=6, bmc_random_trials=8)
+                  bmc_depth=6, bmc_random_trials=8, sim_mode=args.sim_mode)
     serial = run_pipeline(DatagenConfig(n_workers=1, **common))
     parallel = run_pipeline(DatagenConfig(n_workers=args.workers,
                                           backend="process", **common))
     a, b = serial.fingerprint(), parallel.fingerprint()
+    print(f"sim_mode: {args.sim_mode}")
     print(f"serial   (n_workers=1):           {a}")
     print(f"parallel (n_workers={args.workers}, process): {b}")
     print(f"corpus families: {serial.stats['corpus_families']}")

@@ -36,6 +36,7 @@ from repro.eval.reporting import (
 )
 from repro.eval.runner import EvalResult, evaluate_model
 from repro.model.assertsolver import AssertSolver
+from repro.sim.compiled import SIM_MODES
 from repro.store import StoreConfig
 
 
@@ -62,6 +63,11 @@ class PipelineConfig:
     n_workers: int = 1
     backend: str = "auto"
     compile_cache: bool = True
+    #: Simulation execution tier ("compiled" closure programs or the
+    #: "interp" AST walker — see :mod:`repro.sim.compiled`).  Pure
+    #: execution knob: both tiers produce byte-identical results, so it
+    #: stays out of :meth:`cache_key`.
+    sim_mode: str = "compiled"
     template_families: Optional[Tuple[str, ...]] = None
     family_weights: Optional[Dict[str, float]] = None
     #: Persistent artifact store (see :class:`repro.store.StoreConfig`):
@@ -74,6 +80,9 @@ class PipelineConfig:
         # Fail fast on unknown/empty family selections instead of minutes
         # later when run_datagen() first builds a DatagenConfig.
         resolve_families(self.template_families, self.family_weights)
+        if self.sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}")
         if self.store is not None:
             self.store.validate()
 
@@ -86,7 +95,8 @@ class PipelineConfig:
                              compile_cache=self.compile_cache,
                              template_families=self.template_families,
                              family_weights=self.family_weights,
-                             store=self.store)
+                             store=self.store,
+                             sim_mode=self.sim_mode)
 
     def make_engine(self) -> ExecutionEngine:
         return ExecutionEngine(n_workers=self.n_workers,
@@ -101,7 +111,7 @@ class PipelineConfig:
 
         settings = dict(n_workers=self.n_workers, backend=self.backend,
                         compile_cache=self.compile_cache, seed=self.seed,
-                        store=self.store)
+                        store=self.store, sim_mode=self.sim_mode)
         settings.update(overrides)
         return ServeConfig(**settings)
 

@@ -36,6 +36,8 @@ from repro.datagen.stage1 import run_stage1
 from repro.datagen.stage2 import SVA_VALIDATION_MODES, run_stage2
 from repro.datagen.stage3 import run_stage3
 from repro.engine import BACKENDS, ExecutionEngine, StageGraph, derive_rng
+from repro.engine import metrics
+from repro.sim.compiled import SIM_MODES
 from repro.store import StoreConfig
 from repro.sva.bmc import BmcConfig
 from repro.verilog.compile import (
@@ -46,7 +48,7 @@ from repro.verilog.compile import (
 #: ``DatasetBundle.stats`` keys that legitimately differ between backends
 #: and between cold/warm runs (wall times, worker counts, cache and store
 #: hit attribution).
-VOLATILE_STAT_KEYS = ("engine", "compile_cache", "store")
+VOLATILE_STAT_KEYS = ("engine", "compile_cache", "store", "solve_profile")
 
 
 @dataclass
@@ -56,9 +58,12 @@ class DatagenConfig:
     The paper runs on 108,971 corpus samples; ``n_designs`` scales the
     whole pipeline down while preserving every stage's behaviour (the
     bundle's ``stats`` record both our counts and the paper's).
-    ``n_workers``/``backend`` control the engine's worker pool and
+    ``n_workers``/``backend`` control the engine's worker pool,
     ``compile_cache``/``compile_cache_size`` the content-hash compile
-    memoization; none of them changes the produced datasets.
+    memoization, and ``sim_mode`` the simulation tier (``"compiled"``
+    evaluation programs vs the ``"interp"`` AST walker — see
+    :mod:`repro.sim.compiled`); none of them changes the produced
+    datasets, which is why none of them enters ``semantic_digest``.
 
     ``template_families`` restricts corpus sampling to a subset of the
     registered template families (default: all) and ``family_weights``
@@ -80,6 +85,7 @@ class DatagenConfig:
     backend: str = "auto"
     compile_cache: bool = True
     compile_cache_size: int = 4096
+    sim_mode: str = "compiled"
     sva_validation: str = "batched"
     template_families: Optional[Tuple[str, ...]] = None
     family_weights: Optional[Dict[str, float]] = None
@@ -107,6 +113,9 @@ class DatagenConfig:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}")
         if self.sva_validation not in SVA_VALIDATION_MODES:
             raise ValueError(
                 f"sva_validation must be one of {SVA_VALIDATION_MODES}, "
@@ -160,7 +169,7 @@ class DatagenConfig:
     def bmc(self) -> BmcConfig:
         return BmcConfig(depth=self.bmc_depth,
                          random_trials=self.bmc_random_trials,
-                         seed=self.seed)
+                         seed=self.seed, sim_mode=self.sim_mode)
 
     def make_engine(self, store=None) -> ExecutionEngine:
         """An engine whose workers inherit this config's cache knobs.
@@ -306,11 +315,13 @@ def run_pipeline(config: DatagenConfig) -> DatasetBundle:
         store_path=store_path,
         store_max_bytes=config.store.max_bytes if store_path else 0)
     cache_before = default_compile_cache().counters()
+    profile_before = metrics.profile_counters()
     try:
         with config.make_engine(store=store) as engine:
             outputs = build_stage_graph(config).run(engine)
             bundle = _assemble(config, outputs)
-            _attach_execution_stats(bundle, engine, cache_before, store)
+            _attach_execution_stats(bundle, engine, cache_before, store,
+                                    profile_before)
     finally:
         configure_compile_cache(*previous_cache)
     return bundle
@@ -356,8 +367,11 @@ def _assemble(config: DatagenConfig, outputs: Dict[str, object]
 
 def _attach_execution_stats(bundle: DatasetBundle, engine: ExecutionEngine,
                             cache_before: Dict[str, int],
-                            store=None) -> None:
-    """Add the volatile ``engine`` / ``compile_cache`` / ``store`` keys."""
+                            store=None,
+                            profile_before: Optional[Dict[str, int]] = None
+                            ) -> None:
+    """Add the volatile ``engine`` / ``compile_cache`` / ``store`` /
+    ``solve_profile`` keys."""
     if store is None:
         bundle.stats["store"] = {"enabled": False}
     else:
@@ -382,4 +396,16 @@ def _attach_execution_stats(bundle: DatasetBundle, engine: ExecutionEngine,
     lookups = served + totals.get("misses", 0)
     totals["hit_rate"] = (served / lookups) if lookups else 0.0
     bundle.stats["compile_cache"] = totals
+    # Per-phase solve wall times (microseconds) from the run: local delta
+    # plus, under a process pool, the per-unit deltas the engine shipped
+    # back from its workers.
+    profile_before = profile_before or {}
+    profile_after = metrics.profile_counters()
+    profile = {key: profile_after.get(key, 0) - profile_before.get(key, 0)
+               for key in profile_after}
+    if engine.backend == "process":
+        for key, value in engine.metric_totals().get(
+                "solve_profile", {}).items():
+            profile[key] = profile.get(key, 0) + value
+    bundle.stats["solve_profile"] = profile
     bundle.stats["engine"] = engine.stats()

@@ -15,6 +15,7 @@ upper bound there.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict
 
 Counters = Dict[str, int]
@@ -52,3 +53,34 @@ def accumulate(total: Dict[str, Counters],
         bucket = total.setdefault(name, {})
         for key, value in counters.items():
             bucket[key] = bucket.get(key, 0) + value
+
+
+# -- solve-phase wall-clock profile -------------------------------------------
+#
+# The solve hot path (program compilation, simulation, SVA monitoring, the
+# BMC driver around them) reports per-phase wall time here.  Times are kept
+# as integer microseconds so the provider fits the ``Counters`` contract:
+# monotonic ints whose deltas the engine can ship back from workers and
+# accumulate, exactly like the compile-cache counters.
+
+_PROFILE: Dict[str, int] = {}
+_PROFILE_LOCK = threading.Lock()
+
+
+def add_time(phase: str, seconds: float) -> None:
+    """Charge ``seconds`` of wall time to ``phase`` (``<phase>_us`` counter)."""
+    micros = int(seconds * 1_000_000)
+    if micros <= 0:
+        return
+    key = f"{phase}_us"
+    with _PROFILE_LOCK:
+        _PROFILE[key] = _PROFILE.get(key, 0) + micros
+
+
+def profile_counters() -> Counters:
+    """Metrics provider: cumulative per-phase solve times (microseconds)."""
+    with _PROFILE_LOCK:
+        return dict(_PROFILE)
+
+
+register_provider("solve_profile", profile_counters)

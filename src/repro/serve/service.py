@@ -44,7 +44,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
 from repro.engine import BACKENDS, ExecutionEngine, derive_rng
+from repro.engine import metrics
 from repro.serve.batcher import MicroBatcher
+from repro.sim.compiled import SIM_MODES
 from repro.serve.cache import ResultCache, content_key
 from repro.store import StoreConfig
 from repro.sva.bmc import BmcConfig
@@ -255,12 +257,19 @@ class SolveResponse:
 
 @dataclass(frozen=True)
 class SolveTask:
-    """Everything one worker needs to solve one unique request."""
+    """Everything one worker needs to solve one unique request.
+
+    ``sim_mode`` is deployment configuration, not request content: it
+    selects the simulation tier (see :mod:`repro.sim.compiled`) and must
+    never change the response, so it stays out of ``key`` — a cached
+    response is valid under either mode.
+    """
 
     key: str
     design_source: str
     options: SolveOptions
     seed: int
+    sim_mode: str = "compiled"
 
 
 def _score_hint(hint: SvaHint, design_signals: frozenset) -> float:
@@ -305,7 +314,7 @@ def solve_task(task: SolveTask) -> SolveResponse:
     proposals = oracle.propose(seed_like)
     bmc = BmcConfig(depth=options.bmc_depth,
                     random_trials=options.bmc_random_trials,
-                    seed=task.seed)
+                    seed=task.seed, sim_mode=task.sim_mode)
     valid, rejected = validate_svas(seed_like, proposals, bmc, mode="batched")
 
     design_signals = frozenset(compiled.design.symbols)
@@ -338,6 +347,7 @@ class ServeConfig:
     cache_entries: int = 1024
     compile_cache: bool = True
     compile_cache_size: int = 4096
+    sim_mode: str = "compiled"
     seed: int = 2025
     #: Persistent tier under the result cache (and, via the worker
     #: initializer, under every worker's compile cache).  Responses are
@@ -361,6 +371,9 @@ class ServeConfig:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}")
         if not isinstance(self.batch_window_ms, (int, float)) \
                 or isinstance(self.batch_window_ms, bool) \
                 or self.batch_window_ms < 0:
@@ -815,7 +828,8 @@ class AssertService:
         tasks = [SolveTask(key=key,
                            design_source=groups[key][0].request.design_source,
                            options=groups[key][0].request.options,
-                           seed=self.config.seed)
+                           seed=self.config.seed,
+                           sim_mode=self.config.sim_mode)
                  for key in misses]
         with self._lock:
             self._deduped += dedup_extra
@@ -900,8 +914,11 @@ class AssertService:
 
     def statsz(self) -> Dict[str, object]:
         """The operator payload behind ``GET /statsz``: the full
-        :class:`ServiceStats` snapshot plus the backing store's own
-        counters (hit/miss/write/evict/corrupt) when one is attached."""
+        :class:`ServiceStats` snapshot, the backing store's own counters
+        (hit/miss/write/evict/corrupt) when one is attached, and the
+        cumulative per-phase solve profile (``*_us`` wall-time counters
+        for program compilation, simulation, monitoring and BMC) summed
+        across worker processes when the engine pools."""
         payload: Dict[str, object] = {"service": self.stats().to_dict()}
         if self._store is not None:
             store_info = dict(self._store.counters())
@@ -909,4 +926,10 @@ class AssertService:
             payload["store"] = store_info
         else:
             payload["store"] = None
+        profile = dict(metrics.profile_counters())
+        if self._engine is not None and self._engine.backend == "process":
+            for key, value in self._engine.metric_totals().get(
+                    "solve_profile", {}).items():
+                profile[key] = profile.get(key, 0) + value
+        payload["solve_profile"] = profile
         return payload

@@ -17,6 +17,14 @@ event-driven behaviour for the reset protocols our corpus uses (documented
 substitution: we do not model sub-cycle glitches).
 """
 
+from repro.sim.compiled import (
+    SIM_MODES,
+    CompiledProgram,
+    CompiledSimulator,
+    UnsupportedDesign,
+    compile_program,
+    make_simulator,
+)
 from repro.sim.simulator import SimulationError, Simulator
 from repro.sim.stimulus import Stimulus, reset_sequence
 from repro.sim.trace import Trace
@@ -25,6 +33,12 @@ from repro.sim.values import FourState
 __all__ = [
     "Simulator",
     "SimulationError",
+    "SIM_MODES",
+    "CompiledProgram",
+    "CompiledSimulator",
+    "UnsupportedDesign",
+    "compile_program",
+    "make_simulator",
     "Stimulus",
     "reset_sequence",
     "Trace",

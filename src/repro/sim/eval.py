@@ -50,10 +50,10 @@ class Evaluator:
         self.sys_hook = sys_hook
 
     def eval(self, expr: ast.Expr) -> FourState:
-        method = getattr(self, f"_eval_{type(expr).__name__.lower()}", None)
+        method = _DISPATCH.get(type(expr))
         if method is None:
             raise EvalError(f"cannot evaluate {type(expr).__name__}")
-        return method(expr)
+        return method(self, expr)
 
     def eval_bool(self, expr: ast.Expr) -> FourState:
         """Evaluate as a truth value (1-bit, 3-valued)."""
@@ -198,3 +198,22 @@ class Evaluator:
         if self.sys_hook is not None:
             return self.sys_hook(name, expr.args)
         raise EvalError(f"system function {name} not available in this context")
+
+
+# Class-level dispatch: exact node type -> unbound method.  Built once at
+# import instead of string-formatting a method name per eval() call (which
+# profiled as the hottest line of the whole interpreter).  Exact-type match
+# preserves the old getattr semantics: subclasses would have dispatched by
+# their own (missing) name and raised, and they still do.
+_DISPATCH = {
+    ast.Number: Evaluator._eval_number,
+    ast.Ident: Evaluator._eval_ident,
+    ast.Unary: Evaluator._eval_unary,
+    ast.Binary: Evaluator._eval_binary,
+    ast.Ternary: Evaluator._eval_ternary,
+    ast.BitSelect: Evaluator._eval_bitselect,
+    ast.PartSelect: Evaluator._eval_partselect,
+    ast.Concat: Evaluator._eval_concat,
+    ast.Repeat: Evaluator._eval_repeat,
+    ast.SysCall: Evaluator._eval_syscall,
+}

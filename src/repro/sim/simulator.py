@@ -286,15 +286,20 @@ class Simulator:
         self.env.update(nba_updates)
         self.settle()
 
-    def run(self, stimulus: Stimulus, trace_signals: Optional[List[str]] = None) -> Trace:
-        """Run the full stimulus and return the trace.
+    def run_iter(self, stimulus: Stimulus,
+                 trace_signals: Optional[List[str]] = None):
+        """Generator form of :meth:`run`.
 
-        The trace includes ``reset_cycles`` cycles with the reset active
-        followed by one snapshot per stimulus vector.
+        Yields the (shared, growing) :class:`Trace` once before any cycle
+        — so callers can hold the trace object — and then once after each
+        appended snapshot.  Abandoning the generator mid-run is safe; the
+        BMC batch driver uses this to stop simulating a stimulus the
+        moment every assertion already has a verdict.
         """
         self._reset_env()
         names = trace_signals or sorted(self.design.symbols)
         trace = Trace(names)
+        yield trace
         active = reset_values(self.design, active=True)
         inactive = reset_values(self.design, active=False)
         zeros = {s.name: 0 for s in self.design.free_inputs()}
@@ -307,6 +312,7 @@ class Simulator:
             self._drive(active)
             self.settle()
             trace.append(self.env, {**zeros, **active})
+            yield trace
             self.tick()
 
         for vector in stimulus.vectors:
@@ -314,7 +320,18 @@ class Simulator:
             self._drive(inactive)
             self.settle()
             trace.append(self.env, {**vector, **inactive})
+            yield trace
             self.tick()
+
+    def run(self, stimulus: Stimulus, trace_signals: Optional[List[str]] = None) -> Trace:
+        """Run the full stimulus and return the trace.
+
+        The trace includes ``reset_cycles`` cycles with the reset active
+        followed by one snapshot per stimulus vector.
+        """
+        trace = None
+        for trace in self.run_iter(stimulus, trace_signals):
+            pass
         return trace
 
 

@@ -19,10 +19,13 @@ all the paper's pipeline needs.
 from __future__ import annotations
 
 import random
+from time import perf_counter
 from typing import Iterable, List, Optional
 
+from repro.engine import metrics
+from repro.sim.compiled import SIM_MODES, make_simulator
 from repro.sim.eval import EvalError
-from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.simulator import SimulationError
 from repro.sim.stimulus import (
     Stimulus,
     constant_sequence,
@@ -32,21 +35,35 @@ from repro.sim.stimulus import (
     walking_ones_sequence,
 )
 from repro.sim.trace import Trace
-from repro.sva.monitor import AssertionFailure, check_assertions
+from repro.sva.monitor import (
+    AssertionFailure,
+    IncrementalChecker,
+    check_assertions,
+)
 from repro.verilog.elaborator import Design
 
 
 class BmcConfig:
-    """Search budget for :func:`bounded_check`."""
+    """Search budget for :func:`bounded_check`.
+
+    ``sim_mode`` selects the execution tier (``"compiled"`` programs or
+    the ``"interp"`` AST walker — see :mod:`repro.sim.compiled`); it is
+    an execution knob, not a semantic one, and must never change any
+    verdict.
+    """
 
     def __init__(self, depth: int = 12, random_trials: int = 64,
                  exhaustive_bits: int = 12, reset_cycles: int = 2,
-                 seed: int = 2025):
+                 seed: int = 2025, sim_mode: str = "compiled"):
+        if sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"sim_mode must be one of {SIM_MODES}, got {sim_mode!r}")
         self.depth = depth
         self.random_trials = random_trials
         self.exhaustive_bits = exhaustive_bits
         self.reset_cycles = reset_cycles
         self.seed = seed
+        self.sim_mode = sim_mode
 
 
 class BmcResult:
@@ -148,72 +165,119 @@ def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResu
     if not design.assertions:
         return result
 
-    candidates = _candidate_stimuli(design, config)
-    simulator = Simulator(design)
-    for stimulus in candidates:
-        result.stimuli_tried += 1
-        try:
-            trace = simulator.run(stimulus)
-            failures = check_assertions(design, trace, config.reset_cycles)
-        except (SimulationError, EvalError) as exc:
-            # Hallucinated SVAs can reference constructs the monitor cannot
-            # evaluate; that is a rejection, not a crash.
-            result.sim_error = str(exc)
-            return result
-        if failures:
-            result.failed = True
-            result.failures = failures
-            result.trace = trace
-            result.stimulus = stimulus
-            return result
-    return result
+    start = perf_counter()
+    sim_seconds = 0.0
+    monitor_seconds = 0.0
+    try:
+        candidates = _candidate_stimuli(design, config)
+        simulator = make_simulator(design, config.sim_mode)
+        compiled_props = config.sim_mode == "compiled"
+        for stimulus in candidates:
+            result.stimuli_tried += 1
+            try:
+                t0 = perf_counter()
+                trace = simulator.run(stimulus)
+                t1 = perf_counter()
+                sim_seconds += t1 - t0
+                failures = check_assertions(design, trace, config.reset_cycles,
+                                            compiled=compiled_props)
+                monitor_seconds += perf_counter() - t1
+            except (SimulationError, EvalError) as exc:
+                # Hallucinated SVAs can reference constructs the monitor
+                # cannot evaluate; that is a rejection, not a crash.
+                result.sim_error = str(exc)
+                return result
+            if failures:
+                result.failed = True
+                result.failures = failures
+                result.trace = trace
+                result.stimulus = stimulus
+                return result
+        return result
+    finally:
+        metrics.add_time("simulate", sim_seconds)
+        metrics.add_time("monitor", monitor_seconds)
+        metrics.add_time("bmc", perf_counter() - start)
 
 
 def bounded_check_batch(design: Design,
                         config: Optional[BmcConfig] = None) -> BmcBatchResult:
     """One portfolio run scoring every assertion independently.
 
-    Byte-equivalent to running :func:`bounded_check` once per assertion on
-    a design carrying only that assertion: the stimulus portfolio depends
+    Equivalent to running :func:`bounded_check` once per assertion on a
+    design carrying only that assertion: the stimulus portfolio depends
     only on the design's free inputs (assertions add none), traces are
     identical, and the monitor evaluates each assertion in isolation — so
     ``rejects(label)`` reproduces the individual ``not passed_bound``
     verdict while simulating the shared RTL once instead of N times.
-    """
-    from repro.sva.monitor import PropertyChecker
 
+    Execution is incremental with early exit: one compiled program is
+    reused across every stimulus, SVA monitors are evaluated per cycle as
+    the trace grows (:class:`IncrementalChecker`), a label resolves at its
+    first definitive event (failure or property ``EvalError``) in
+    start-cycle order, and simulation stops — mid-stimulus if need be —
+    the moment every label has a verdict.
+    """
     config = config or BmcConfig()
     result = BmcBatchResult()
     if not design.assertions:
         return result
 
-    candidates = _candidate_stimuli(design, config)
-    labels = [assertion.label for assertion in design.assertions]
-    simulator = Simulator(design)
-    for stimulus in candidates:
-        result.stimuli_tried += 1
-        try:
-            trace = simulator.run(stimulus)
-        except (SimulationError, EvalError) as exc:
-            # RTL-level problem: every per-assertion run would have hit it.
-            result.design_error = str(exc)
-            return result
-        checker = PropertyChecker(design, trace)
-        for assertion in design.assertions:
-            if assertion.label in result.failed_labels \
-                    or assertion.label in result.error_labels:
-                continue
+    start = perf_counter()
+    sim_seconds = 0.0
+    monitor_seconds = 0.0
+    try:
+        candidates = _candidate_stimuli(design, config)
+        simulator = make_simulator(design, config.sim_mode)
+        compiled_props = config.sim_mode == "compiled"
+        pending = list(design.assertions)
+        for stimulus in candidates:
+            result.stimuli_tried += 1
+            cycles = simulator.run_iter(stimulus)
+            t0 = perf_counter()
             try:
-                failures = checker.check(assertion, config.reset_cycles + 1)
-            except EvalError as exc:
-                result.error_labels[assertion.label] = str(exc)
-                continue
-            if failures:
-                result.failed_labels.add(assertion.label)
-        if all(label in result.failed_labels or label in result.error_labels
-               for label in labels):
-            break  # every assertion already resolved; no verdict can change
-    return result
+                trace = next(cycles)
+            except (SimulationError, EvalError) as exc:
+                # RTL-level problem: every per-assertion run would hit it.
+                result.design_error = str(exc)
+                return result
+            finally:
+                sim_seconds += perf_counter() - t0
+            checker = IncrementalChecker(design, trace, pending,
+                                         config.reset_cycles + 1,
+                                         compiled=compiled_props)
+            while True:
+                t0 = perf_counter()
+                try:
+                    next(cycles)
+                except StopIteration:
+                    sim_seconds += perf_counter() - t0
+                    t0 = perf_counter()
+                    checker.finalize()
+                    monitor_seconds += perf_counter() - t0
+                    break
+                except (SimulationError, EvalError) as exc:
+                    sim_seconds += perf_counter() - t0
+                    result.design_error = str(exc)
+                    return result
+                sim_seconds += perf_counter() - t0
+                t0 = perf_counter()
+                checker.advance()
+                monitor_seconds += perf_counter() - t0
+                if checker.all_resolved():
+                    break  # every pending label has a verdict: stop this run
+            result.failed_labels |= checker.failed
+            result.error_labels.update(checker.errors)
+            pending = [assertion for assertion in pending
+                       if assertion.label not in result.failed_labels
+                       and assertion.label not in result.error_labels]
+            if not pending:
+                break  # every assertion resolved; no verdict can change
+        return result
+    finally:
+        metrics.add_time("simulate", sim_seconds)
+        metrics.add_time("monitor", monitor_seconds)
+        metrics.add_time("bmc", perf_counter() - start)
 
 
 def holds_within_bound(design: Design, config: Optional[BmcConfig] = None) -> bool:

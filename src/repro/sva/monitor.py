@@ -13,8 +13,11 @@ sampled bits are known.  Reset periods are excluded the standard way via
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import List, Optional
 
+from repro.sim.compiled import _FALSE, _TRUE, _X1, UnsupportedDesign, _Lowerer
 from repro.sim.eval import EvalError, Evaluator
 from repro.sim.trace import Trace
 from repro.sim.values import FourState
@@ -51,15 +54,31 @@ class AssertionFailure:
 
 class _TraceEnv:
     """Evaluator environment bound to one trace cycle, with temporal
-    system-function support."""
+    system-function support.
 
-    def __init__(self, trace: Trace, cycle: int, params):
+    Environments (and their evaluators) are memoized per cycle in a
+    registry shared across the whole property check, so the per-cycle /
+    per-property loops construct each :class:`Evaluator` once instead of
+    once per visit.  An env only holds its cycle *index* — it reads the
+    trace lazily, so memoized envs stay valid while a trace is still
+    being appended to (the incremental checker relies on this).
+    """
+
+    def __init__(self, trace: Trace, cycle: int, params, registry=None):
         self.trace = trace
         self.cycle = cycle
         self.params = params
+        self._registry = registry if registry is not None else {}
+        self._registry[cycle] = self
+        self._evaluator: "Evaluator | None" = None
 
     def evaluator(self) -> Evaluator:
-        return Evaluator(self._lookup, self.params, sys_hook=self._sys_hook)
+        evaluator = self._evaluator
+        if evaluator is None:
+            evaluator = Evaluator(self._lookup, self.params,
+                                  sys_hook=self._sys_hook)
+            self._evaluator = evaluator
+        return evaluator
 
     def _lookup(self, name: str) -> FourState:
         try:
@@ -68,7 +87,10 @@ class _TraceEnv:
             raise EvalError(f"no such signal '{name}' in trace") from None
 
     def _at(self, cycle: int) -> "_TraceEnv":
-        return _TraceEnv(self.trace, cycle, self.params)
+        env = self._registry.get(cycle)
+        if env is None:
+            env = _TraceEnv(self.trace, cycle, self.params, self._registry)
+        return env
 
     def _sys_hook(self, name: str, args) -> FourState:
         if name == "$past":
@@ -97,6 +119,216 @@ class _TraceEnv:
         raise EvalError(f"system function {name} unsupported in properties")
 
 
+class _PropLowerer(_Lowerer):
+    """Trace-backed variant of the compiled tier's expression lowerer.
+
+    Reuses every operator combinator of :class:`repro.sim.compiled._Lowerer`
+    unchanged; only the environment differs — ``env`` is ``(trace, cycle)``
+    instead of a slot list, and the temporal system functions
+    (``$past``/``$rose``/``$fell``/``$stable``) re-enter sub-closures at a
+    shifted cycle, mirroring :meth:`_TraceEnv._sys_hook` verdict for
+    verdict.  Expressions the lowerer cannot compile fall back to the
+    interpreted :class:`_TraceEnv` path per expression.
+    """
+
+    def _lower_ident(self, expr: ast.Ident):
+        name = expr.name
+        if name in self.params:
+            value = FourState(32, self.params[name] & 0xFFFFFFFF)
+            return (lambda env: value), True
+        if name not in self.slots:
+            return self._raiser(
+                EvalError, f"no such signal '{name}' in trace"), False
+        return (lambda env: env[0].snapshots[env[1]][name]), False
+
+    def _lower_syscall(self, expr: ast.SysCall):
+        name = expr.name
+        if name not in ("$past", "$rose", "$fell", "$stable"):
+            if name in ("$countones", "$onehot", "$onehot0", "$signed",
+                        "$unsigned"):
+                return super()._lower_syscall(expr)
+            return self._raiser(
+                EvalError,
+                f"system function {name} unsupported in properties"), False
+        if not expr.args:
+            # The interpreted hook would crash on args[0]; don't compile.
+            raise UnsupportedDesign(f"{name} with no arguments")
+        arg, _ = self._lower_expr(expr.args[0])
+        if name == "$past":
+            depth = 1
+            if len(expr.args) > 1 and isinstance(expr.args[1], ast.Number):
+                depth = expr.args[1].value
+
+            def past(env):
+                cycle = env[1] - depth
+                if cycle < 0:
+                    return _X1
+                return arg((env[0], cycle))
+            return past, False
+        if name == "$stable":
+            def stable(env):
+                if env[1] == 0:
+                    return _X1
+                return arg(env).case_eq(arg((env[0], env[1] - 1)))
+            return stable, False
+        rising = name == "$rose"
+
+        def edge(env):
+            if env[1] == 0:
+                return _X1
+            now = arg(env).bit(0)
+            before = arg((env[0], env[1] - 1)).bit(0)
+            if now.has_x or before.has_x:
+                return _X1
+            if rising:
+                return _TRUE if before.value == 0 and now.value == 1 else _FALSE
+            return _TRUE if before.value == 1 and now.value == 0 else _FALSE
+        return edge, False
+
+
+class _PropProgram:
+    """Per-design cache of compiled property closures.
+
+    Two levels: :meth:`expr_fn` compiles boolean-layer expressions,
+    :meth:`prop_fn` compiles whole property trees (delay windows,
+    implications, negations) into closures ``fn(trace, cycle) ->
+    (verdict, resolving_cycle)`` that mirror
+    :meth:`PropertyChecker.eval_prop` case for case.  Caches are keyed by
+    node identity: property ASTs are owned by the (immutable, shared)
+    design, so ids are stable for the design's lifetime.
+    """
+
+    __slots__ = ("_lowerer", "_fns", "_props")
+
+    def __init__(self, design: Design):
+        self._lowerer = _PropLowerer(design)
+        self._fns: dict = {}
+        self._props: dict = {}
+
+    def expr_fn(self, expr: ast.Expr):
+        """Closure ``fn((trace, cycle)) -> FourState``, or ``None`` when
+        this expression must use the interpreted path."""
+        fn = self._fns.get(id(expr))
+        if fn is None:
+            try:
+                fn, _ = self._lowerer._lower_expr(expr)
+            except UnsupportedDesign:
+                fn = False
+            self._fns[id(expr)] = fn
+        return fn or None
+
+    def prop_fn(self, prop: ast.PropExpr):
+        """Closure ``fn(trace, cycle) -> (verdict, at)``, or ``None``."""
+        fn = self._props.get(id(prop))
+        if fn is None:
+            try:
+                fn = self._lower_prop(prop)
+            except UnsupportedDesign:
+                fn = False
+            self._props[id(prop)] = fn
+        return fn or None
+
+    def _lower_prop(self, prop: ast.PropExpr):
+        if isinstance(prop, ast.PropBool):
+            value, _ = self._lowerer._lower_expr(prop.expr)
+
+            def prop_bool(trace, cycle):
+                if cycle >= len(trace.snapshots):
+                    return UNDET, cycle
+                result = value((trace, cycle))
+                if result.value != 0:
+                    return TRUE, cycle
+                if result.xmask == 0:
+                    return FALSE, cycle
+                return UNDET, cycle
+            return prop_bool
+        if isinstance(prop, ast.PropNot):
+            operand = self._lower_prop(prop.operand)
+
+            def prop_not(trace, cycle):
+                if cycle >= len(trace.snapshots):
+                    return UNDET, cycle
+                verdict, at = operand(trace, cycle)
+                if verdict == TRUE:
+                    return FALSE, at
+                if verdict == FALSE:
+                    return TRUE, at
+                return UNDET, at
+            return prop_not
+        if isinstance(prop, ast.PropDelay):
+            rhs = self._lower_prop(prop.rhs)
+            lhs = (self._lower_prop(prop.lhs)
+                   if prop.lhs is not None else None)
+            lo, hi = prop.lo, prop.hi
+
+            def prop_delay(trace, cycle):
+                length = len(trace.snapshots)
+                if cycle >= length:
+                    return UNDET, cycle
+                if lhs is not None:
+                    verdict, at = lhs(trace, cycle)
+                    if verdict != TRUE:
+                        return verdict, at
+                    base = at
+                else:
+                    base = cycle - 1  # leading ##N counts from `cycle`
+                saw_undet = False
+                for offset in range(lo, hi + 1):
+                    target = (base + offset if lhs is not None
+                              else cycle + offset)
+                    if target >= length:
+                        saw_undet = True
+                        continue
+                    verdict, at = rhs(trace, target)
+                    if verdict == TRUE:
+                        return TRUE, at
+                    if verdict == UNDET:
+                        saw_undet = True
+                if saw_undet:
+                    return UNDET, length - 1
+                last = base + hi if lhs is not None else cycle + hi
+                return FALSE, min(last, length - 1)
+            return prop_delay
+        if isinstance(prop, ast.PropImplication):
+            antecedent = self._lower_prop(prop.antecedent)
+            consequent = self._lower_prop(prop.consequent)
+            overlapped = prop.overlapped
+
+            def prop_implication(trace, cycle):
+                if cycle >= len(trace.snapshots):
+                    return UNDET, cycle
+                verdict, match_end = antecedent(trace, cycle)
+                if verdict == FALSE:
+                    return TRUE, cycle  # vacuous pass
+                if verdict == UNDET:
+                    return UNDET, match_end
+                start = match_end if overlapped else match_end + 1
+                return consequent(trace, start)
+            return prop_implication
+        message = f"cannot evaluate property node {type(prop).__name__}"
+
+        def prop_bad(trace, cycle):
+            # eval_prop bounds-checks before dispatching, so a node past
+            # the end of the trace is UNDET even when unknown.
+            if cycle >= len(trace.snapshots):
+                return UNDET, cycle
+            raise TypeError(message)
+        return prop_bad
+
+
+_PROP_LOCK = threading.Lock()
+_PROP_PROGRAMS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _prop_program(design: Design) -> _PropProgram:
+    with _PROP_LOCK:
+        program = _PROP_PROGRAMS.get(design)
+        if program is None:
+            program = _PropProgram(design)
+            _PROP_PROGRAMS[design] = program
+        return program
+
+
 # 3-valued property verdicts.
 TRUE = "true"
 FALSE = "false"
@@ -112,22 +344,51 @@ def _bool_verdict(value: FourState) -> str:
 
 
 class PropertyChecker:
-    """Evaluates one property over a trace."""
+    """Evaluates one property over a trace.
 
-    def __init__(self, design: Design, trace: Trace):
+    ``compiled=True`` (the default) evaluates boolean layers through
+    per-design closures compiled by :class:`_PropLowerer` — same verdicts,
+    same ``EvalError`` messages, no per-node dispatch; expressions the
+    lowerer rejects fall back to the interpreted path individually.
+    ``compiled=False`` forces the interpreted path throughout (the
+    ``sim_mode="interp"`` baseline).
+    """
+
+    def __init__(self, design: Design, trace: Trace, compiled: bool = True):
         self.design = design
         self.trace = trace
+        self._envs: dict = {}
+        self._program = _prop_program(design) if compiled else None
 
     def _env(self, cycle: int) -> _TraceEnv:
-        return _TraceEnv(self.trace, cycle, self.design.params)
+        env = self._envs.get(cycle)
+        if env is None:
+            env = _TraceEnv(self.trace, cycle, self.design.params, self._envs)
+        return env
+
+    def _eval_bool(self, expr: ast.Expr, cycle: int) -> FourState:
+        """Truth value of ``expr`` at ``cycle`` (1-bit, 3-valued)."""
+        program = self._program
+        if program is not None:
+            fn = program.expr_fn(expr)
+            if fn is not None:
+                # Raw value, not collapsed to 1 bit: every consumer only
+                # asks is_true()/is_false(), on which the collapse is a
+                # no-op.
+                return fn((self.trace, cycle))
+        return self._env(cycle).evaluator().eval_bool(expr)
 
     def eval_prop(self, prop: ast.PropExpr, cycle: int) -> "tuple[str, int]":
         """Returns (verdict, resolving_cycle)."""
+        program = self._program
+        if program is not None:
+            fn = program.prop_fn(prop)
+            if fn is not None:
+                return fn(self.trace, cycle)
         if cycle >= len(self.trace):
             return UNDET, cycle
         if isinstance(prop, ast.PropBool):
-            value = self._env(cycle).evaluator().eval_bool(prop.expr)
-            return _bool_verdict(value), cycle
+            return _bool_verdict(self._eval_bool(prop.expr, cycle)), cycle
         if isinstance(prop, ast.PropNot):
             verdict, at = self.eval_prop(prop.operand, cycle)
             if verdict == TRUE:
@@ -186,12 +447,21 @@ class PropertyChecker:
         """
         failures: List[AssertionFailure] = []
         prop = assertion.prop
-        for cycle in range(skip_cycles, len(self.trace)):
-            if prop.disable is not None:
-                disabled = self._env(cycle).evaluator().eval_bool(prop.disable)
-                if not disabled.is_false():
+        program = self._program
+        body_fn = program.prop_fn(prop.body) if program is not None else None
+        disable = prop.disable
+        disable_fn = (program.expr_fn(disable)
+                      if program is not None and disable is not None else None)
+        trace = self.trace
+        for cycle in range(skip_cycles, len(trace)):
+            if disable is not None:
+                active = (disable_fn((trace, cycle))
+                          if disable_fn is not None
+                          else self._eval_bool(disable, cycle))
+                if not active.is_false():
                     continue
-            verdict, at = self.eval_prop(prop.body, cycle)
+            verdict, at = (body_fn(trace, cycle) if body_fn is not None
+                           else self.eval_prop(prop.body, cycle))
             if verdict == FALSE:
                 failures.append(AssertionFailure(
                     self.design.name, assertion.label, prop.name,
@@ -199,12 +469,124 @@ class PropertyChecker:
         return failures
 
 
+def property_lookahead(prop: ast.PropExpr) -> int:
+    """Static bound on how far past its start cycle a property can sample.
+
+    Evaluating ``prop`` at start cycle ``c`` touches only trace cycles
+    ``<= c + property_lookahead(prop)`` (temporal functions like ``$past``
+    sample backwards, which never leaves the bound).  Once a trace holds
+    more than ``c + lookahead`` cycles, the verdict *and* resolving cycle
+    at ``c`` equal the post-hoc full-trace evaluation — no UNDET from
+    running off the end of the trace can occur, and no later snapshot is
+    consulted.  This is what lets the incremental checker emit final
+    verdicts while the simulation is still running.
+    """
+    if isinstance(prop, ast.PropNot):
+        return property_lookahead(prop.operand)
+    if isinstance(prop, ast.PropDelay):
+        ahead = prop.hi + property_lookahead(prop.rhs)
+        if prop.lhs is not None:
+            ahead += property_lookahead(prop.lhs)
+        return ahead
+    if isinstance(prop, ast.PropImplication):
+        ahead = (property_lookahead(prop.antecedent)
+                 + property_lookahead(prop.consequent))
+        if not prop.overlapped:
+            ahead += 1
+        return ahead
+    # PropBool — and unknown nodes, for which eval_prop raises regardless
+    # of trace length, so any bound is correct.
+    return 0
+
+
+class IncrementalChecker:
+    """Per-cycle assertion evaluation over a still-growing trace.
+
+    Feeds the BMC batch driver: after each simulated cycle,
+    :meth:`advance` evaluates every start cycle whose lookahead window is
+    now complete (see :func:`property_lookahead`), so verdicts are
+    available — and simulation can stop — as early as possible.
+    :meth:`finalize` evaluates the remaining tail start cycles once the
+    trace is complete, exactly as a post-hoc check would.
+
+    A label *resolves* at its first definitive event in start-cycle
+    order: an assertion failure (into ``failed``) or an ``EvalError``
+    from the property (into ``errors``).  Verdicts match
+    :meth:`PropertyChecker.check` cycle for cycle.
+    """
+
+    def __init__(self, design: Design, trace: Trace,
+                 assertions: List[ResolvedAssertion], skip_cycles: int,
+                 compiled: bool = True):
+        self.checker = PropertyChecker(design, trace, compiled=compiled)
+        self.trace = trace
+        self.failed: set = set()
+        self.errors: dict = {}
+        # [assertion, lookahead, next start cycle]
+        self._pending = [[assertion, property_lookahead(assertion.prop.body),
+                          skip_cycles]
+                         for assertion in assertions]
+
+    def all_resolved(self) -> bool:
+        return not self._pending
+
+    def advance(self) -> None:
+        """Evaluate every start cycle with a complete lookahead window."""
+        if not self._pending:
+            return
+        length = len(self.trace)
+        self._pending = [
+            entry for entry in self._pending
+            if not self._scan(entry, length - 1 - entry[1])]
+
+    def finalize(self) -> None:
+        """Trace complete: evaluate the remaining start cycles post-hoc."""
+        if not self._pending:
+            return
+        length = len(self.trace)
+        self._pending = [entry for entry in self._pending
+                         if not self._scan(entry, length - 1)]
+
+    def _scan(self, entry, limit: int) -> bool:
+        """Evaluate start cycles up to ``limit``; True when resolved."""
+        assertion, _, cycle = entry
+        prop = assertion.prop
+        checker = self.checker
+        program = checker._program
+        body_fn = program.prop_fn(prop.body) if program is not None else None
+        disable = prop.disable
+        disable_fn = (program.expr_fn(disable)
+                      if program is not None and disable is not None else None)
+        trace = self.trace
+        try:
+            while cycle <= limit:
+                if disable is not None:
+                    active = (disable_fn((trace, cycle))
+                              if disable_fn is not None
+                              else checker._eval_bool(disable, cycle))
+                    if not active.is_false():
+                        cycle += 1
+                        continue
+                verdict, _ = (body_fn(trace, cycle) if body_fn is not None
+                              else checker.eval_prop(prop.body, cycle))
+                cycle += 1
+                if verdict == FALSE:
+                    self.failed.add(assertion.label)
+                    return True
+        except EvalError as exc:
+            self.errors[assertion.label] = str(exc)
+            return True
+        entry[2] = cycle
+        return False
+
+
 def check_trace(design: Design, trace: Trace,
-                skip_cycles: Optional[int] = None) -> List[AssertionFailure]:
+                skip_cycles: Optional[int] = None,
+                compiled: bool = True) -> List[AssertionFailure]:
     """Check every assertion in ``design`` against ``trace``."""
     if skip_cycles is None:
         skip_cycles = 0
-    checker = PropertyChecker(design, trace)
+    checker = PropertyChecker(design, trace, compiled=compiled)
     failures: List[AssertionFailure] = []
     for assertion in design.assertions:
         failures.extend(checker.check(assertion, skip_cycles))
@@ -212,7 +594,8 @@ def check_trace(design: Design, trace: Trace,
 
 
 def check_assertions(design: Design, trace: Trace,
-                     reset_cycles: int = 2) -> List[AssertionFailure]:
+                     reset_cycles: int = 2,
+                     compiled: bool = True) -> List[AssertionFailure]:
     """Like :func:`check_trace` but skipping the reset preamble.
 
     Checking starts one cycle *after* reset release: properties that sample
@@ -220,4 +603,5 @@ def check_assertions(design: Design, trace: Trace,
     values that never followed the design's update rule.  This matches the
     common verification practice of arming checkers a cycle after reset.
     """
-    return check_trace(design, trace, skip_cycles=reset_cycles + 1)
+    return check_trace(design, trace, skip_cycles=reset_cycles + 1,
+                       compiled=compiled)

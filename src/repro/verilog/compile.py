@@ -33,7 +33,18 @@ from repro.verilog.parser import parse_source
 
 
 class CompileResult:
-    """Outcome of compiling one source string."""
+    """Outcome of compiling one source string.
+
+    ``content_key`` is the SHA-256 content hash of the source — the same
+    key the :class:`CompileCache` files the result under.  Downstream
+    caches (notably the compiled-simulation program cache in
+    :mod:`repro.sim.compiled`, which keys on the shared ``design``
+    instance this result carries) use it to report which content a cached
+    artifact belongs to.  Class-level default keeps results unpickled
+    from older disk stores working.
+    """
+
+    content_key: Optional[str] = None
 
     def __init__(self, source_text: str):
         self.source_text = source_text
@@ -41,6 +52,7 @@ class CompileResult:
         self.source: Optional[ast.Source] = None
         self.design: Optional[Design] = None
         self.diagnostics: List[Diagnostic] = []
+        self.content_key = CompileCache.key(source_text)
 
     @property
     def module(self) -> Optional[ast.Module]:
