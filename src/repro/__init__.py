@@ -26,19 +26,21 @@ the paper on a pure-Python substrate:
   experiment runners that regenerate every table and figure.
 - :mod:`repro.serve` — the online serving layer: an async micro-batching
   assertion service with content-hash result caching, a stdlib
-  JSON-over-HTTP transport (server + client), and a load-test harness.
+  JSON-over-HTTP transport (server + client), a consistent-hash fleet
+  router over N instances, and a load-test harness.
 - :mod:`repro.store` — the persistent content-addressed artifact store:
   crash-safe disk blobs under every cache, making datagen re-runs
   incremental and letting service fleets pool responses.
 """
 
-_API_EXPORTS = ("AssertSolverPipeline", "PipelineConfig")
+_API_EXPORTS = ("AssertSolverPipeline", "FleetConfig", "PipelineConfig",
+                "make_fleet")
 _SERVE_EXPORTS = ("AssertClient", "AssertHttpServer", "AssertService",
-                  "HttpConfig", "ServeConfig", "SolveOptions",
-                  "SolveRequest")
+                  "FleetRouter", "HttpConfig", "RouterConfig",
+                  "ServeConfig", "SolveOptions", "SolveRequest")
 _STORE_EXPORTS = ("DiskStore", "MemoryStore", "StoreConfig", "TieredStore")
 __all__ = [*_API_EXPORTS, *_SERVE_EXPORTS, *_STORE_EXPORTS]
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def __getattr__(name):

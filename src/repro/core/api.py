@@ -41,6 +41,81 @@ from repro.store import StoreConfig
 
 
 @dataclass
+class FleetConfig:
+    """Launcher knobs for a same-host fleet: N identical backends plus
+    one :class:`repro.serve.FleetRouter` in front (see
+    :func:`make_fleet`).  Per-backend service knobs come from the
+    accompanying ``ServeConfig``; these are only the fleet shape."""
+
+    n_backends: int = 3
+    host: str = "127.0.0.1"
+    port: int = 0  # router port; backends always bind ephemeral ports
+    health_interval_s: float = 1.0
+    ring_replicas: int = 64
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        if not isinstance(self.n_backends, int) \
+                or isinstance(self.n_backends, bool) or self.n_backends < 1:
+            raise ValueError(f"n_backends must be an integer >= 1, "
+                             f"got {self.n_backends!r}")
+        if not isinstance(self.port, int) or isinstance(self.port, bool) \
+                or not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be an integer in [0, 65535], "
+                             f"got {self.port!r}")
+        if not isinstance(self.health_interval_s, (int, float)) \
+                or isinstance(self.health_interval_s, bool) \
+                or self.health_interval_s <= 0:
+            raise ValueError(f"health_interval_s must be a number > 0, "
+                             f"got {self.health_interval_s!r}")
+        if not isinstance(self.ring_replicas, int) \
+                or isinstance(self.ring_replicas, bool) \
+                or self.ring_replicas < 1:
+            raise ValueError(f"ring_replicas must be an integer >= 1, "
+                             f"got {self.ring_replicas!r}")
+
+
+def make_fleet(fleet: Optional[FleetConfig] = None,
+               serve: Optional["ServeConfig"] = None) -> "FleetRouter":
+    """An (unstarted) router-managed fleet: ``n_backends`` identical
+    :class:`AssertHttpServer` instances (each with its own
+    :class:`AssertService` built from ``serve``) behind one
+    :class:`FleetRouter`.  ``router.start()`` — or ``with`` — brings the
+    whole fleet up; ``router.close()`` drains it in order.  Backends get
+    stable ring names ``backend-0..N-1``, so the key->backend map — and
+    with it cache affinity — is the same on every launch regardless of
+    which ephemeral ports the instances bind.  Point the backends at one
+    shared :class:`StoreConfig` path to make the fleet cache-coherent
+    across restarts."""
+    from repro.serve import (
+        AssertHttpServer,
+        AssertService,
+        FleetRouter,
+        HttpConfig,
+        RouterConfig,
+        ServeConfig,
+    )
+
+    fleet = fleet or FleetConfig()
+    fleet.validate()
+    serve = serve if serve is not None else ServeConfig()
+    backends = [
+        AssertHttpServer(AssertService(serve),
+                         HttpConfig(host=fleet.host, port=0))
+        for _ in range(fleet.n_backends)
+    ]
+    return FleetRouter(
+        backends,
+        RouterConfig(host=fleet.host, port=fleet.port,
+                     health_interval_s=fleet.health_interval_s,
+                     ring_replicas=fleet.ring_replicas),
+        manage_backends=True,
+        node_names=[f"backend-{i}" for i in range(fleet.n_backends)])
+
+
+@dataclass
 class PipelineConfig:
     """Scale and execution knobs for a full reproduction run.
 
@@ -133,6 +208,18 @@ class PipelineConfig:
 
         return AssertHttpServer(self.make_service(**overrides),
                                 HttpConfig(host=host, port=port))
+
+    def serve_fleet(self, n_backends: int = 3, host: str = "127.0.0.1",
+                    port: int = 0, **overrides) -> "FleetRouter":
+        """An (unstarted) :class:`repro.serve.FleetRouter` over
+        ``n_backends`` identical backends built from :meth:`serve`'s
+        config — the one-liner from a batch reproduction setup to a
+        horizontally scaled service.  Keyword overrides reach the
+        per-backend :class:`ServeConfig`; the router binds ``port``
+        (0 = ephemeral, read it off ``router.port`` after start)."""
+        return make_fleet(
+            FleetConfig(n_backends=n_backends, host=host, port=port),
+            self.serve(**overrides))
 
     def cache_key(self) -> tuple:
         # Semantic fields only: the execution knobs (n_workers, backend,

@@ -20,7 +20,11 @@ concurrent traffic:
   ``/statsz``, ``DELETE /v1/solve/{request_id}``, graceful drain);
 - :mod:`repro.serve.client` — :class:`AssertClient` /
   :class:`SolveHandle`: the wire twin of the in-process API, with
-  client-initiated cancellation.
+  client-initiated cancellation;
+- :mod:`repro.serve.router` — :class:`FleetRouter`: consistent-hash
+  routing over N :class:`AssertHttpServer` backends on the same wire
+  protocol (cache-affine key routing, health ejection/re-admission,
+  429 spillover, fleet ``/statsz``, propagated drain).
 """
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
@@ -39,6 +43,7 @@ from repro.serve.loadgen import (
     build_workload,
     run_load,
 )
+from repro.serve.router import FleetRouter, HashRing, RouterConfig
 from repro.serve.service import (
     AssertService,
     ScoredProposal,
@@ -58,10 +63,13 @@ __all__ = [
     "AssertService",
     "BatcherStats",
     "ClientError",
+    "FleetRouter",
+    "HashRing",
     "HttpConfig",
     "LoadReport",
     "MicroBatcher",
     "ResultCache",
+    "RouterConfig",
     "ScoredProposal",
     "ServeConfig",
     "ServiceClosed",

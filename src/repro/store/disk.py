@@ -31,6 +31,17 @@ every instance reconciles the index against a directory scan at load,
 so a stale or corrupt index (e.g. after concurrent writers from two
 processes) can cost recent last-used times, never correctness and never
 the size budget.
+
+**Cross-process budget (compaction).**  Each long-lived instance
+enforces ``max_bytes`` from its *own* index, which only sees its own
+writes after load — so N fleet processes writing one directory could
+combine to ~N times the budget.  :meth:`DiskStore.compact` closes this:
+a directory rescan + LRU eviction + index rewrite, guarded by a lock
+file (``O_CREAT|O_EXCL``; stale locks from crashed holders are broken
+after :data:`COMPACT_LOCK_STALE_S`) so exactly one process pays the
+walk at a time.  It runs automatically every ``compact_every`` puts,
+keeping the *combined* on-disk bytes bounded no matter how many
+processes share the root.
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from repro.store.base import ArtifactStore, validate_key, validate_namespace
 _MAGIC = b"repro-store/1"
 _INDEX_NAME = "index.json"
 _TMP_PREFIX = ".tmp-"
+_LOCK_NAME = ".compact-lock"
 
 #: Default size budget: generous for test/bench corpora, small enough
 #: that a long-lived store on a dev box cannot grow without bound.
@@ -59,6 +71,17 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 #: the whole index per put, and staleness is harmless because every
 #: instance reconciles against the filesystem at load.
 PERSIST_EVERY = 64
+
+#: Run a cross-process compaction pass every this many puts (0 disables
+#: the automatic trigger; :meth:`DiskStore.compact` stays callable).
+#: The pass is a directory walk, so it is deliberately much rarer than
+#: :data:`PERSIST_EVERY`.
+COMPACT_EVERY = 256
+
+#: A compaction lock file older than this belongs to a crashed holder
+#: and may be broken.  Compaction itself is a directory walk + unlinks
+#: — far faster than this bound even on enormous stores.
+COMPACT_LOCK_STALE_S = 300.0
 
 
 def _encode(value: object) -> bytes:
@@ -101,18 +124,26 @@ class DiskStore(ArtifactStore):
     entirely by atomic renames.
     """
 
-    def __init__(self, root, max_bytes: int = DEFAULT_MAX_BYTES):
+    def __init__(self, root, max_bytes: int = DEFAULT_MAX_BYTES,
+                 compact_every: int = COMPACT_EVERY):
         super().__init__()
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if not isinstance(compact_every, int) \
+                or isinstance(compact_every, bool) or compact_every < 0:
+            raise ValueError(f"compact_every must be an integer >= 0, "
+                             f"got {compact_every!r}")
         self.root = Path(root)
         self.max_bytes = max_bytes
+        self.compact_every = compact_every
         self.write_errors = 0
+        self.compactions = 0
         self.root.mkdir(parents=True, exist_ok=True)
         #: relative blob path -> [size_bytes, last_used_unix]
         self._index: Dict[str, List[float]] = {}
         self._total_bytes = 0
         self._unpersisted_puts = 0
+        self._puts_since_compact = 0
         self._load_index()
 
     # -- paths ---------------------------------------------------------------
@@ -179,6 +210,7 @@ class DiskStore(ArtifactStore):
             with self._lock:
                 self.write_errors += 1
             return
+        compact_due = False
         with self._lock:
             self.writes += 1
             rel = self._rel(path)
@@ -192,6 +224,11 @@ class DiskStore(ArtifactStore):
             if evicted or self._unpersisted_puts >= PERSIST_EVERY:
                 self._persist_index_locked()
                 self._unpersisted_puts = 0
+            if self.compact_every:
+                self._puts_since_compact += 1
+                compact_due = self._puts_since_compact >= self.compact_every
+        if compact_due:
+            self.compact()
 
     def __len__(self) -> int:
         with self._lock:
@@ -231,6 +268,74 @@ class DiskStore(ArtifactStore):
             self.evictions += 1
             evicted += 1
         return evicted
+
+    def compact(self) -> int:
+        """One cross-process budget pass; returns blobs evicted.
+
+        Rescans the directory (so writes from *other* instances and
+        processes enter this index), merges in-memory recency (a rescan
+        only sees mtimes, and :meth:`get` may hold fresher last-used
+        times), evicts LRU down to ``max_bytes``, and persists the
+        reconciled index.  Guarded by a lock file so concurrent
+        compactions from fleet processes collapse to one walker: a
+        contended call returns 0 immediately — the holder is already
+        doing the work.  Runs automatically every ``compact_every``
+        puts; safe to call directly at any time."""
+        with self._lock:
+            self._puts_since_compact = 0
+        if not self._acquire_compact_lock():
+            return 0
+        try:
+            with self._lock:
+                remembered = {rel: entry[1]
+                              for rel, entry in self._index.items()}
+                self._rescan()
+                for rel, entry in self._index.items():
+                    used = remembered.get(rel)
+                    if used is not None and used > entry[1]:
+                        entry[1] = used
+                evicted = self._evict_locked()
+                self._persist_index_locked()
+                self._unpersisted_puts = 0
+                self.compactions += 1
+            return evicted
+        finally:
+            self._release_compact_lock()
+
+    def _compact_lock_path(self) -> Path:
+        return self.root / _LOCK_NAME
+
+    def _acquire_compact_lock(self) -> bool:
+        """``O_CREAT|O_EXCL`` lock file; breaks stale locks once."""
+        lock = self._compact_lock_path()
+        for attempt in (0, 1):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(str(os.getpid()))
+                return True
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    # Holder released between open and stat: the store
+                    # was just compacted; this pass has nothing to add.
+                    return False
+                if age < COMPACT_LOCK_STALE_S or attempt:
+                    return False  # live holder (or already broke once)
+                try:
+                    lock.unlink()  # crashed holder: break the stale lock
+                except OSError:  # pragma: no cover - lost the break race
+                    return False
+            except OSError:  # pragma: no cover - unwritable root
+                return False
+        return False  # pragma: no cover - loop always returns
+
+    def _release_compact_lock(self) -> None:
+        try:
+            self._compact_lock_path().unlink()
+        except OSError:  # pragma: no cover - removed out from under us
+            pass
 
     def _sweep_tmp(self) -> None:
         """Remove stale in-flight files a crashed writer left behind."""
@@ -293,6 +398,7 @@ class DiskStore(ArtifactStore):
         total = 0
         for path in self.root.rglob("*"):
             if not path.is_file() or path.name == _INDEX_NAME \
+                    or path.name == _LOCK_NAME \
                     or path.name.startswith(_TMP_PREFIX):
                 continue
             try:
@@ -322,4 +428,5 @@ class DiskStore(ArtifactStore):
         with self._lock:
             data["write_errors"] = self.write_errors
             data["total_bytes"] = self._total_bytes
+            data["compactions"] = self.compactions
         return data

@@ -1,0 +1,558 @@
+"""Fleet router: ring stability, affinity, ejection, spillover, drain.
+
+Covers the fleet-serving contract:
+
+- consistent-hash stability — adding a backend moves only ~1/N keys,
+  and removing it restores the exact original map (cache affinity
+  survives fleet resizes);
+- repeat designs land on one backend; ejection on failed ``/healthz``
+  with probed re-admission — and the ring keeps the ejected node, so
+  affinity is intact after the blip;
+- 429 spillover walks the key's ring order, relaying the final 429
+  (Retry-After included) only when every backend refuses;
+- fleet ``/statsz`` sums numeric fields across backends and exposes
+  per-backend snapshots plus router counters;
+- responses through the router are byte-identical to single-instance
+  bodies, and a drain still answers in-flight clients end to end.
+
+Stub backends (scripted healthz/solve/statsz) pin down router logic
+deterministically; a real ``make_fleet`` fleet covers the wire contract
+end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import ExitStack, contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.core.api import FleetConfig, PipelineConfig, make_fleet
+from repro.serve import (
+    AssertClient,
+    AssertService,
+    FleetRouter,
+    HashRing,
+    RouterConfig,
+    ServeConfig,
+    SolveOptions,
+    SolveRequest,
+    request_to_json,
+)
+
+MINI_SOURCE = """
+module mini (
+  input clk,
+  input rst_n,
+  input a,
+  input b,
+  output wire y
+);
+  assign y = a & b;
+endmodule
+"""
+
+FAST = dict(bmc_depth=6, bmc_random_trials=8)
+
+
+def fast_request(source: str, **overrides) -> SolveRequest:
+    options = dict(FAST)
+    options.update(overrides)
+    return SolveRequest(source, SolveOptions(**options))
+
+
+def variant(i: int) -> SolveRequest:
+    """Distinct content keys from one template (comment changes hash)."""
+    return fast_request(f"// variant {i}\n{MINI_SOURCE}")
+
+
+# -- scripted stub backends ----------------------------------------------------
+
+_SEQ = itertools.count()
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self, code, payload, headers=None):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        stub = self.server.stub
+        if self.path == "/healthz":
+            ok = stub.health_code == 200
+            self._reply(stub.health_code,
+                        {"status": "ok" if ok else "unhealthy"})
+        elif self.path == "/statsz":
+            self._reply(200, stub.statsz_payload)
+        else:
+            self._reply(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        stub = self.server.stub
+        length = int(self.headers.get("Content-Length", 0))
+        self.rfile.read(length)
+        stub.log.append((next(_SEQ), "POST"))
+        if stub.solve_code == 429:
+            self._reply(429, {"error": "queue full"}, {"Retry-After": "7"})
+        else:
+            self._reply(stub.solve_code, {"served_by": stub.name})
+
+    def do_DELETE(self):  # noqa: N802 - stdlib naming
+        stub = self.server.stub
+        stub.log.append((next(_SEQ), "DELETE"))
+        count = stub.cancelled
+        self._reply(200 if count else 404,
+                    {"request_id": "whatever", "cancelled": count})
+
+
+class Stub:
+    """One scripted backend: toggle health/solve behavior per test."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.health_code = 200
+        self.solve_code = 200
+        self.cancelled = 0
+        self.statsz_payload = {"service": {}, "store": None,
+                               "solve_profile": {}}
+        self.log = []  # (global_seq, method) — cross-stub arrival order
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.stub = self
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def node(self) -> str:
+        return f"127.0.0.1:{self.httpd.server_address[1]}"
+
+    def posts(self):
+        return [entry for entry in self.log if entry[1] == "POST"]
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+@contextmanager
+def stub_fleet(n: int = 3):
+    """A started router over ``n`` scripted stubs (manual probes only)."""
+    with ExitStack() as stack:
+        stubs = [Stub(f"stub-{i}") for i in range(n)]
+        for stub in stubs:
+            stack.callback(stub.close)
+        router = FleetRouter([stub.node for stub in stubs],
+                             RouterConfig(health_interval_s=60.0,
+                                          probe_timeout_s=5.0))
+        router.start()
+        stack.callback(router.close)
+        yield router, {stub.node: stub for stub in stubs}
+
+
+def owner_stub(router, stubs, key: str) -> Stub:
+    return stubs[router.candidates_for(key)[0]]
+
+
+def solve_body(request: SolveRequest) -> bytes:
+    return request_to_json(request).encode("utf-8")
+
+
+def post_solve(router, request: SolveRequest):
+    client = AssertClient.for_server(router)
+    return client._request("POST", "/v1/solve", solve_body(request))
+
+
+# -- the ring ------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_owner_is_deterministic_and_candidates_cover_all(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        again = HashRing(["c:3", "a:1", "b:2"])  # insertion order moot
+        for i in range(50):
+            key = f"key-{i}"
+            assert ring.node_for(key) == again.node_for(key)
+            order = list(ring.candidates(key))
+            assert sorted(order) == ["a:1", "b:2", "c:3"]
+            assert order[0] == ring.node_for(key)
+
+    def test_adding_node_moves_about_one_over_n_keys(self):
+        nodes = ["a:1", "b:2", "c:3"]
+        keys = [f"design-{i}" for i in range(400)]
+        ring = HashRing(nodes)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add("d:4")
+        after = {key: ring.node_for(key) for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        # ~1/4 of keys should move to the new node — nowhere else.
+        assert 0.05 < len(moved) / len(keys) < 0.45
+        assert all(after[key] == "d:4" for key in moved)
+        # Removing it restores the exact original map: affinity survives
+        # a backend coming and going.
+        ring.remove("d:4")
+        assert {key: ring.node_for(key) for key in keys} == before
+
+    def test_shares_are_reasonably_balanced(self):
+        ring = HashRing(["a:1", "b:2", "c:3"], replicas=64)
+        owners = [ring.node_for(f"key-{i}") for i in range(600)]
+        for node in ("a:1", "b:2", "c:3"):
+            assert owners.count(node) >= 60  # >=10% each; ~33% expected
+
+    def test_empty_ring_and_validation(self):
+        assert HashRing().node_for("anything") is None
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+        ring = HashRing(["a:1"])
+        ring.add("a:1")  # idempotent
+        assert len(ring) == 1
+        ring.remove("missing")  # harmless
+        assert "a:1" in ring
+
+
+class TestNodeNames:
+    def test_named_ring_survives_backend_address_change(self):
+        # With stable node names the ring hashes the name, not the
+        # (ephemeral) address: a backend restarting on a new port keeps
+        # exactly the keys it owned before.
+        keys = [variant(i).cache_key() for i in range(20)]
+        config = RouterConfig(health_interval_s=60.0, probe_timeout_s=5.0)
+        with ExitStack() as stack:
+            first, second = Stub("first"), Stub("second")
+            stack.callback(first.close)
+            stack.callback(second.close)
+            router = FleetRouter([first.node, second.node], config,
+                                 node_names=["left", "right"])
+            router.start()
+            owners = {key: router.candidates_for(key)[0] for key in keys}
+            assert set(owners.values()) == {"left", "right"}
+            # Requests reach the stub behind the name.
+            request = variant(0)
+            status, _, body = post_solve(router, request)
+            assert status == 200
+            expected = (first if owners[request.cache_key()] == "left"
+                        else second)
+            assert json.loads(body)["served_by"] == expected.name
+            router.close()
+            # "left" comes back on a brand-new ephemeral port...
+            reborn = Stub("first-reborn")
+            stack.callback(reborn.close)
+            router = FleetRouter([reborn.node, second.node], config,
+                                 node_names=["left", "right"])
+            router.start()
+            stack.callback(router.close)
+            # ...and the key->node map is exactly what it was.
+            assert {key: router.candidates_for(key)[0]
+                    for key in keys} == owners
+
+    def test_statsz_reports_name_and_address_separately(self):
+        with ExitStack() as stack:
+            stub = Stub("solo")
+            stack.callback(stub.close)
+            router = FleetRouter(
+                [stub.node],
+                RouterConfig(health_interval_s=60.0, probe_timeout_s=5.0),
+                node_names=["backend-0"])
+            router.start()
+            stack.callback(router.close)
+            (entry,) = router.statsz()["backends"]
+            assert entry["node"] == "backend-0"
+            assert entry["address"] == stub.node
+
+    def test_node_names_validation(self):
+        backends = ["127.0.0.1:9", "127.0.0.1:10"]
+        with pytest.raises(ValueError):
+            FleetRouter(backends, node_names=["only-one"])
+        with pytest.raises(ValueError):
+            FleetRouter(backends, node_names=["dup", "dup"])
+        with pytest.raises(ValueError):
+            FleetRouter(backends, node_names=["ok", ""])
+
+
+# -- routing over stubs --------------------------------------------------------
+
+
+class TestRoutingAffinity:
+    def test_repeat_keys_land_on_one_backend(self):
+        with stub_fleet() as (router, stubs):
+            request = variant(0)
+            owner = owner_stub(router, stubs, request.cache_key())
+            for _ in range(5):
+                status, _, body = post_solve(router, request)
+                assert status == 200
+                assert json.loads(body)["served_by"] == owner.name
+            assert len(owner.posts()) == 5
+            others = [s for s in stubs.values() if s is not owner]
+            assert all(not s.posts() for s in others)
+            assert router.stats()["routed"] == 5
+
+    def test_distinct_keys_spread_over_backends(self):
+        with stub_fleet() as (router, stubs):
+            for i in range(12):
+                status, _, _ = post_solve(router, variant(i))
+                assert status == 200
+            backends_hit = [s for s in stubs.values() if s.posts()]
+            assert len(backends_hit) >= 2
+
+
+class TestSpillover:
+    def test_429_spills_to_next_ring_candidate_in_order(self):
+        with stub_fleet() as (router, stubs):
+            request = variant(1)
+            order = router.candidates_for(request.cache_key())
+            stubs[order[0]].solve_code = 429
+            status, _, body = post_solve(router, request)
+            assert status == 200
+            assert json.loads(body)["served_by"] == stubs[order[1]].name
+            # The owner was offered the request first, then the spill.
+            first_seq = stubs[order[0]].posts()[0][0]
+            second_seq = stubs[order[1]].posts()[0][0]
+            assert first_seq < second_seq
+            assert not stubs[order[2]].posts()
+            assert router.stats()["spillovers"] == 1
+
+    def test_all_backends_refusing_relays_the_final_429(self):
+        with stub_fleet() as (router, stubs):
+            for stub in stubs.values():
+                stub.solve_code = 429
+            status, headers, body = post_solve(router, variant(2))
+            assert status == 429
+            assert headers["retry-after"] == "7"  # backend's hint relayed
+            assert json.loads(body)["error"] == "queue full"
+            assert all(len(s.posts()) == 1 for s in stubs.values())
+            assert router.stats()["spillovers"] == 3
+
+
+class TestHealthEjection:
+    def test_failed_healthz_ejects_and_probe_readmits(self):
+        with stub_fleet() as (router, stubs):
+            request = variant(3)
+            order = router.candidates_for(request.cache_key())
+            owner, backup = stubs[order[0]], stubs[order[1]]
+            owner.health_code = 503
+            assert router.probe() == (2, 3)
+            status, _, body = post_solve(router, request)
+            assert status == 200
+            assert json.loads(body)["served_by"] == backup.name
+            assert not owner.posts()  # ejected: never even offered
+            # Recovery: probe re-admits, and because the ring never
+            # dropped the node the very same key goes home again.
+            owner.health_code = 200
+            assert router.probe() == (3, 3)
+            status, _, body = post_solve(router, request)
+            assert json.loads(body)["served_by"] == owner.name
+            stats = router.stats()
+            assert stats["ejections"] == 1
+            assert stats["readmissions"] == 1
+
+    def test_connection_error_fails_over_mid_request(self):
+        with stub_fleet() as (router, stubs):
+            request = variant(4)
+            order = router.candidates_for(request.cache_key())
+            stubs[order[0]].close()  # dies without a failed probe first
+            status, _, body = post_solve(router, request)
+            assert status == 200
+            assert json.loads(body)["served_by"] == stubs[order[1]].name
+            assert router.stats()["failovers"] == 1
+            assert router.health() == (2, 3)  # ejected on the spot
+
+    def test_no_healthy_backends_maps_to_503(self):
+        with stub_fleet(n=2) as (router, stubs):
+            for stub in stubs.values():
+                stub.health_code = 503
+            router.probe()
+            status, _, body = post_solve(router, variant(5))
+            assert status == 503
+            assert json.loads(body)["error"] == "no healthy backends"
+            client = AssertClient.for_server(router)
+            health = client.healthz()
+            assert health["http_status"] == 503
+            assert health["status"] == "unavailable"
+            assert health["backends"] == {"healthy": 0, "total": 2}
+
+
+class TestStatszAggregation:
+    def test_numeric_fields_sum_across_backends(self):
+        with stub_fleet() as (router, stubs):
+            for i, stub in enumerate(stubs.values()):
+                stub.statsz_payload = {
+                    "service": {"submitted": 10 + i, "solved": 5 + i,
+                                "backend": "serial",  # strings skipped
+                                "draining": False},  # bools skipped
+                    "store": {"hits": i, "total_bytes": 100 * i},
+                    "solve_profile": {"total_us": 1000 * (i + 1)},
+                }
+            client = AssertClient.for_server(router)
+            payload = client.statsz()
+            assert payload["service"]["submitted"] == 10 + 11 + 12
+            assert payload["service"]["solved"] == 5 + 6 + 7
+            assert "backend" not in payload["service"]
+            assert "draining" not in payload["service"]
+            assert payload["store"]["hits"] == 0 + 1 + 2
+            assert payload["store"]["total_bytes"] == 0 + 100 + 200
+            assert payload["solve_profile"]["total_us"] == 6000
+            assert payload["router"]["backends_total"] == 3
+            nodes = {entry["node"] for entry in payload["backends"]}
+            assert nodes == set(stubs)
+            assert all(entry["healthy"] for entry in payload["backends"])
+
+    def test_store_stays_none_when_no_backend_has_one(self):
+        with stub_fleet(n=2) as (router, _):
+            assert router.statsz()["store"] is None
+
+
+class TestCancelBroadcast:
+    def test_delete_fans_out_and_sums(self):
+        with stub_fleet() as (router, stubs):
+            holder = next(iter(stubs.values()))
+            holder.cancelled = 1
+            client = AssertClient.for_server(router)
+            assert client.cancel("some-request") == 1
+            # Every backend was asked — the router cannot know the holder.
+            assert all(any(m == "DELETE" for _, m in s.log)
+                       for s in stubs.values())
+
+    def test_unknown_request_id_is_404(self):
+        with stub_fleet() as (router, _):
+            client = AssertClient.for_server(router)
+            status, _, body = client._request(
+                "DELETE", "/v1/solve/never-seen")
+            assert status == 404
+            assert json.loads(body)["cancelled"] == 0
+
+
+# -- a real fleet over real backends -------------------------------------------
+
+
+@contextmanager
+def real_fleet(n_backends: int = 2, **serve_overrides):
+    serve_overrides.setdefault("batch_window_ms", 5.0)
+    router = make_fleet(FleetConfig(n_backends=n_backends),
+                        ServeConfig(**serve_overrides))
+    router.start()
+    try:
+        yield router, AssertClient.for_server(router)
+    finally:
+        router.close()
+
+
+class TestRealFleet:
+    def test_bodies_byte_identical_to_single_instance(self):
+        # The acceptance criterion: routing is invisible in the bytes.
+        with real_fleet() as (router, client):
+            for i in range(3):
+                request = variant(i)
+                status, _, via_router = client._request(
+                    "POST", "/v1/solve", solve_body(request))
+                assert status == 200
+                with AssertService(ServeConfig()) as single:
+                    direct = single.solve(request, timeout=60)
+                assert via_router == direct.to_json().encode("utf-8")
+
+    def test_error_bodies_byte_identical_too(self):
+        with real_fleet(n_backends=1) as (router, client):
+            backend = router.backends[0]
+            direct_client = AssertClient.for_server(backend)
+            bad = b'{"garbage": true}'
+            via_router = client._request("POST", "/v1/solve", bad)
+            direct = direct_client._request("POST", "/v1/solve", bad)
+            assert via_router[0] == direct[0] == 400
+            assert via_router[2] == direct[2]
+
+    def test_cache_affinity_across_repeats(self):
+        with real_fleet() as (router, client):
+            requests = [variant(i) for i in range(3)]
+            for _ in range(3):
+                for request in requests:
+                    assert client.solve(request).status in ("ok",
+                                                            "compile_error")
+            agg = router.statsz()
+            # Each unique design was solved exactly once fleet-wide:
+            # repeats all hit the owning backend's cache.
+            assert agg["service"]["solved"] == 3
+            assert agg["service"]["cache_hits"] == 6
+            assert agg["router"]["routed"] == 9
+
+    def test_drain_answers_inflight_clients(self):
+        with real_fleet() as (router, client):
+            handle = client.submit(fast_request(MINI_SOURCE))
+            backends = router.backends
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                stats = [b.service.stats() for b in backends]
+                if any(s.inflight + s.queue_depth > 0 for s in stats):
+                    break
+                time.sleep(0.002)
+            router.close()  # propagated drain: backend answers first
+            response = handle.result(timeout=10)
+            assert response.ok
+
+    def test_healthz_reports_fleet_shape(self):
+        with real_fleet(n_backends=3) as (_, client):
+            payload = client.healthz()
+            assert payload["status"] == "ok"
+            assert payload["backends"] == {"healthy": 3, "total": 3}
+
+    def test_close_is_idempotent_and_restart_refused(self):
+        router = make_fleet(FleetConfig(n_backends=1), ServeConfig())
+        router.start()
+        router.close()
+        router.close()
+        from repro.serve import ServiceClosed
+
+        with pytest.raises(ServiceClosed):
+            router.start()
+
+
+class TestLauncherGlue:
+    def test_serve_fleet_carries_overrides(self):
+        router = PipelineConfig().serve_fleet(n_backends=2, max_batch=4)
+        try:
+            assert len(router.backends) == 2
+            for backend in router.backends:
+                assert backend.service.config.max_batch == 4
+        finally:
+            router.close()
+
+    def test_fleet_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_backends=0)
+        with pytest.raises(ValueError):
+            FleetConfig(port=70000)
+        with pytest.raises(ValueError):
+            FleetConfig(health_interval_s=0)
+        with pytest.raises(ValueError):
+            FleetConfig(ring_replicas=0)
+
+    def test_router_requires_backends_and_unique_addresses(self):
+        with pytest.raises(ValueError):
+            FleetRouter([])
+        router = FleetRouter(["127.0.0.1:9", "127.0.0.1:9"])
+        with pytest.raises(ValueError):
+            router.start()
+
+    def test_router_config_validation(self):
+        for bad in (dict(port=-1), dict(max_body_bytes=0),
+                    dict(forward_timeout_s=0), dict(ring_replicas=0),
+                    dict(health_interval_s=-2.0)):
+            with pytest.raises(ValueError):
+                RouterConfig(**bad).validate()

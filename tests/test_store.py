@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 
 import pytest
 
@@ -278,6 +279,99 @@ class TestConcurrentWriters:
         a.put(NS_STAGE, shared, "same")
         b.put(NS_STAGE, shared, "same")
         assert DiskStore(tmp_path).get(NS_STAGE, shared) == "same"
+
+
+def blob_bytes_on_disk(root) -> int:
+    """Combined blob bytes as the filesystem sees them (all writers)."""
+    return sum(p.stat().st_size for p in root.rglob("*")
+               if p.is_file() and p.name != "index.json"
+               and not p.name.startswith(".tmp-")
+               and p.name != ".compact-lock")
+
+
+class TestCrossProcessBudget:
+    """Regression: long-lived instances each enforce ``max_bytes`` from
+    their *own* index (which stops seeing foreign writes after load), so
+    a fleet's combined writes used to exceed the budget unboundedly.
+    ``compact()`` closes this with a lock-file-guarded rescan+evict."""
+
+    BUDGET = 4_000
+
+    def two_writers(self, tmp_path, count: int = 12, size: int = 300):
+        # Both handles load from an empty directory, then interleave:
+        # neither index ever sees the other's writes.
+        a = DiskStore(tmp_path, max_bytes=self.BUDGET, compact_every=0)
+        b = DiskStore(tmp_path, max_bytes=self.BUDGET, compact_every=0)
+        for i in range(count):
+            a.put(NS_STAGE, content_key(f"writer-a-{i}"), "x" * size)
+            b.put(NS_STAGE, content_key(f"writer-b-{i}"), "y" * size)
+        return a, b
+
+    def test_combined_writes_exceed_budget_without_compaction(self, tmp_path):
+        a, b = self.two_writers(tmp_path)
+        # Each instance believes it is under budget...
+        assert a.total_bytes() <= self.BUDGET
+        assert b.total_bytes() <= self.BUDGET
+        # ...while the directory holds roughly twice the budget: the bug.
+        assert blob_bytes_on_disk(tmp_path) > self.BUDGET
+
+    def test_compact_restores_combined_budget(self, tmp_path):
+        a, _ = self.two_writers(tmp_path)
+        evicted = a.compact()
+        assert evicted > 0
+        assert blob_bytes_on_disk(tmp_path) <= self.BUDGET
+        assert a.counters()["compactions"] == 1
+        # The reconciled index now covers every surviving blob, and the
+        # persisted index lets a fresh handle see the true total.
+        assert a.total_bytes() == blob_bytes_on_disk(tmp_path)
+        fresh = DiskStore(tmp_path, max_bytes=self.BUDGET)
+        assert fresh.total_bytes() <= self.BUDGET
+
+    def test_put_triggers_compaction_automatically(self, tmp_path):
+        # b floods the directory compaction-free; a's own puts cross
+        # compact_every and trigger the fleet-wide pass on their own.
+        b = DiskStore(tmp_path, max_bytes=self.BUDGET, compact_every=0)
+        for i in range(10):
+            b.put(NS_STAGE, content_key(f"flood-{i}"), "z" * 300)
+        a = DiskStore(tmp_path, max_bytes=self.BUDGET, compact_every=4)
+        for i in range(8):
+            a.put(NS_STAGE, content_key(f"auto-{i}"), "w" * 300)
+        assert a.compactions >= 1
+        assert blob_bytes_on_disk(tmp_path) <= self.BUDGET
+
+    def test_compact_respects_recency_across_writers(self, tmp_path):
+        a, b = self.two_writers(tmp_path)
+        hot = content_key("writer-b-11")  # b's newest write
+        assert a.get(NS_STAGE, hot) is not None  # freshens mtime via a
+        a.compact()
+        assert a.get(NS_STAGE, hot) is not None  # survived the pass
+
+    def test_contended_lock_skips_and_leaves_holder_alone(self, tmp_path):
+        a, _ = self.two_writers(tmp_path)
+        lock = tmp_path / ".compact-lock"
+        lock.write_text("held-by-another-process")
+        assert a.compact() == 0  # someone else is walking; don't double up
+        assert lock.exists()  # never releases a lock it doesn't hold
+        assert blob_bytes_on_disk(tmp_path) > self.BUDGET
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+
+        a, _ = self.two_writers(tmp_path)
+        lock = tmp_path / ".compact-lock"
+        lock.write_text("crashed-holder")
+        ancient = time.time() - 3600.0
+        os.utime(lock, (ancient, ancient))
+        assert a.compact() > 0  # broke the stale lock and did the work
+        assert not lock.exists()
+        assert blob_bytes_on_disk(tmp_path) <= self.BUDGET
+
+    def test_lock_file_is_invisible_to_rescans(self, tmp_path):
+        store = DiskStore(tmp_path, max_bytes=self.BUDGET)
+        store.put(NS_STAGE, content_key("only"), "value")
+        (tmp_path / ".compact-lock").write_text("held")
+        fresh = DiskStore(tmp_path, max_bytes=self.BUDGET)
+        assert len(fresh) == 1  # the lock never counts as a blob
 
 
 class TestTieredStore:
