@@ -77,7 +77,8 @@ def _serve_config(args) -> ServeConfig:
 def _print(label: str, report, solved, cache_hits) -> None:
     print(f"  {label:<8} {report.seconds:7.2f}s  "
           f"{report.req_per_sec:7.1f} req/s  p50 {report.p50_ms:7.1f}ms  "
-          f"p95 {report.p95_ms:7.1f}ms  solved {solved}  "
+          f"p95 {report.p95_ms:7.1f}ms  p99 {report.p99_ms:7.1f}ms  "
+          f"solved {solved}  "
           f"cache hits {cache_hits}  errors {report.errors}")
 
 

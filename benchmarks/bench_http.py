@@ -65,7 +65,8 @@ def _serve_config(args, result_cache: bool) -> ServeConfig:
 def _print(label: str, report, stats) -> None:
     print(f"  {label:<10} {report.seconds:7.2f}s  "
           f"{report.req_per_sec:7.1f} req/s  p50 {report.p50_ms:7.1f}ms  "
-          f"p95 {report.p95_ms:7.1f}ms  solved {stats.solved}  "
+          f"p95 {report.p95_ms:7.1f}ms  p99 {report.p99_ms:7.1f}ms  "
+          f"solved {stats.solved}  "
           f"cache hits {stats.cache_hits}  errors {report.errors}")
 
 

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark: tracing must be near-free.
+
+Replays one deterministic corpus-sampled request stream (see
+:mod:`repro.serve.loadgen`) through a live
+:class:`repro.serve.http.AssertHttpServer` twice per repeat — tracing
+disabled, then tracing enabled — on an otherwise identical setup
+(fresh server, result cache off, same seed):
+
+- **traced_off** — ``repro.obs.trace`` disabled: every span call is one
+  flag check, the floor;
+- **traced_on**  — tracing enabled: server/inflight/queue/batch/solve
+  spans recorded into the bounded trace buffer on every request.
+
+Both sides take the best (minimum) p50 across ``--repeats`` passes, so
+scheduler noise on a busy host does not masquerade as span cost.  The
+gates:
+
+- ``traced_on_p50 <= --max-overhead x traced_off_p50`` (default 1.10x):
+  instrumentation may cost a sliver of a request, never a tenth more
+  than that;
+- byte-identity: every response body with tracing on must equal the
+  body with tracing off for the same request — tracing is a pure
+  execution concern and must never fork response bytes;
+- sanity: with tracing on, ``/tracez`` retained traces and
+  ``/metricsz`` parses as Prometheus text.
+
+Results land in ``BENCH_obs.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.engine import available_cpus
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.serve import (
+    AssertClient,
+    AssertHttpServer,
+    AssertService,
+    HttpConfig,
+    ServeConfig,
+    WorkloadSpec,
+    build_workload,
+    run_load,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _serve_config(args) -> ServeConfig:
+    return ServeConfig(
+        n_workers=args.workers, backend="auto",
+        max_queue=max(args.requests * 2, 64),
+        max_batch=args.max_batch,
+        batch_window_ms=args.window_ms,
+        result_cache=False,
+        seed=args.seed)
+
+
+def _measure(args, requests, label: str, traced: bool):
+    """One pass: fresh server, tracing forced to ``traced``."""
+    obs_trace.configure(enabled=traced)
+    obs_trace.reset()
+    try:
+        with AssertHttpServer(AssertService(_serve_config(args)),
+                              HttpConfig()) as server:
+            client = AssertClient.for_server(server)
+            report = run_load(client, requests,
+                              concurrency=args.concurrency, label=label)
+            tracez = client.tracez() if traced else None
+            metricsz = client.metricsz() if traced else None
+    finally:
+        obs_trace.configure(enabled=True)
+        obs_trace.reset()
+    print(f"  {label:<12} {report.seconds:7.2f}s  "
+          f"{report.req_per_sec:7.1f} req/s  p50 {report.p50_ms:7.1f}ms  "
+          f"p95 {report.p95_ms:7.1f}ms  p99 {report.p99_ms:7.1f}ms  "
+          f"errors {report.errors}")
+    return report, tracez, metricsz
+
+
+def run_bench(args) -> dict:
+    spec = WorkloadSpec(n_requests=args.requests,
+                        unique_designs=args.unique,
+                        seed=args.seed,
+                        bmc_depth=args.bmc_depth,
+                        bmc_random_trials=args.bmc_random_trials)
+    requests = build_workload(spec)
+    print(f"bench_obs: {args.requests} requests over {args.unique} unique "
+          f"designs, concurrency={args.concurrency}, "
+          f"workers={args.workers}, repeats={args.repeats}, "
+          f"cpus={available_cpus()}")
+
+    off_reports, on_reports = [], []
+    bodies_match = True
+    traces_retained = 0
+    metrics_parse_ok = False
+    for repeat in range(args.repeats):
+        off, _, _ = _measure(args, requests, f"off[{repeat}]", traced=False)
+        on, tracez, metricsz = _measure(args, requests, f"on[{repeat}]",
+                                        traced=True)
+        off_reports.append(off)
+        on_reports.append(on)
+        bodies_match = bodies_match and all(
+            a is not None and b is not None and a.to_json() == b.to_json()
+            for a, b in zip(off.responses, on.responses))
+        traces_retained = max(traces_retained,
+                              len(tracez["recent"]) + len(tracez["slowest"]))
+        try:
+            parsed = obs_metrics.parse_prometheus_text(metricsz)
+            metrics_parse_ok = parsed.value(
+                "repro_http_requests_total",
+                handler="solve", code="200") is not None
+        except ValueError:
+            metrics_parse_ok = False
+
+    # Best-of-repeats on both sides: the ratio compares each mode's
+    # least-disturbed pass instead of averaging scheduler noise in.
+    off_p50 = min(r.p50_ms for r in off_reports)
+    on_p50 = min(r.p50_ms for r in on_reports)
+    overhead = round(on_p50 / off_p50, 3) if off_p50 else 0.0
+    clean = all(r.errors == 0 for r in off_reports + on_reports)
+
+    report = {
+        "benchmark": "obs",
+        "n_requests": args.requests,
+        "unique_designs": args.unique,
+        "concurrency": args.concurrency,
+        "requested_workers": args.workers,
+        "cpu_count": available_cpus(),
+        "repeats": args.repeats,
+        "max_batch": args.max_batch,
+        "batch_window_ms": args.window_ms,
+        "traced_off": [r.to_dict() for r in off_reports],
+        "traced_on": [r.to_dict() for r in on_reports],
+        "traced_off_p50_ms": off_p50,
+        "traced_on_p50_ms": on_p50,
+        "tracing_p50_overhead": overhead,
+        "max_overhead": args.max_overhead,
+        "overhead_ok": bool(overhead and overhead <= args.max_overhead),
+        "responses_match": bodies_match,
+        "no_errors": clean,
+        "traces_retained": traces_retained,
+        "tracez_populated": traces_retained > 0,
+        "metricsz_parse_ok": metrics_parse_ok,
+        "unix_time": int(time.time()),
+    }
+    output = args.output or REPO_ROOT / "BENCH_obs.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  tracing p50 overhead {overhead}x "
+          f"(ceiling {args.max_overhead}x), "
+          f"bodies match: {bodies_match}, "
+          f"traces retained: {traces_retained}, "
+          f"metricsz parses: {metrics_parse_ok} -> {output}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--unique", type=int, default=8)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--window-ms", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--bmc-depth", type=int, default=10)
+    parser.add_argument("--bmc-random-trials", type=int, default=24)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--max-overhead", type=float, default=1.10,
+                        help="allowed traced/untraced p50 ratio, same host "
+                             "(0 disables the gate)")
+    args = parser.parse_args()
+    report = run_bench(args)
+    if not report["responses_match"]:
+        print("  FATAL: response bodies diverge with tracing enabled")
+        sys.exit(1)
+    if not report["no_errors"]:
+        print("  FATAL: load run recorded transport errors")
+        sys.exit(2)
+    if args.max_overhead > 0 and not report["overhead_ok"]:
+        print("  FATAL: tracing p50 overhead above ceiling")
+        sys.exit(3)
+    if not report["tracez_populated"] or not report["metricsz_parse_ok"]:
+        print("  FATAL: /tracez empty or /metricsz unparseable with "
+              "tracing on")
+        sys.exit(4)
+
+
+if __name__ == "__main__":
+    main()

@@ -73,7 +73,8 @@ def _measure(args, requests, label: str, concurrency: int,
             service.close()
     print(f"  {label:<10} {report.seconds:7.2f}s  "
           f"{report.req_per_sec:7.1f} req/s  p50 {report.p50_ms:7.1f}ms  "
-          f"p95 {report.p95_ms:7.1f}ms  solved {stats.solved}  "
+          f"p95 {report.p95_ms:7.1f}ms  p99 {report.p99_ms:7.1f}ms  "
+          f"solved {stats.solved}  "
           f"deduped {stats.deduped}  cache hits {stats.cache_hits}")
     return report, stats
 

@@ -31,6 +31,11 @@ the paper on a pure-Python substrate:
 - :mod:`repro.store` — the persistent content-addressed artifact store:
   crash-safe disk blobs under every cache, making datagen re-runs
   incremental and letting service fleets pool responses.
+- :mod:`repro.obs` — observability: end-to-end request tracing
+  (deterministic trace ids, ``X-Repro-Trace-Id`` propagation, bounded
+  recent/slowest trace retention) and a unified metrics layer with
+  Prometheus-text exposition, served as ``/tracez`` and ``/metricsz``
+  on every HTTP server and fleet router.
 """
 
 _API_EXPORTS = ("AssertSolverPipeline", "FleetConfig", "PipelineConfig",
@@ -39,8 +44,9 @@ _SERVE_EXPORTS = ("AssertClient", "AssertHttpServer", "AssertService",
                   "FleetRouter", "HttpConfig", "RouterConfig",
                   "ServeConfig", "SolveOptions", "SolveRequest")
 _STORE_EXPORTS = ("DiskStore", "MemoryStore", "StoreConfig", "TieredStore")
-__all__ = [*_API_EXPORTS, *_SERVE_EXPORTS, *_STORE_EXPORTS]
-__version__ = "1.3.0"
+_OBS_EXPORTS = ("MetricsRegistry", "TraceBuffer")
+__all__ = [*_API_EXPORTS, *_SERVE_EXPORTS, *_STORE_EXPORTS, *_OBS_EXPORTS]
+__version__ = "1.4.0"
 
 
 def __getattr__(name):
@@ -57,4 +63,8 @@ def __getattr__(name):
         import repro.store as store
 
         return getattr(store, name)
+    if name in _OBS_EXPORTS:
+        import repro.obs as obs
+
+        return getattr(obs, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine import metrics
+from repro.obs import trace as obs_trace
 
 BACKENDS = ("auto", "serial", "thread", "process")
 
@@ -43,12 +44,21 @@ def _warm_noop() -> None:
     """Top-level (hence picklable) no-op used by :meth:`ExecutionEngine.warm`."""
 
 
-def _call_with_metrics(task: Tuple[Callable, object]):
-    """Top-level (hence picklable) unit wrapper: run + counter delta."""
-    fn, item = task
+def _call_with_metrics(task: Tuple[Callable, object, object]):
+    """Top-level (hence picklable) unit wrapper: run + counter delta + spans.
+
+    ``task`` carries the dispatching map's span context (a picklable
+    ``(trace_id, span_id)`` tuple or ``None``); the unit runs inside an
+    ``engine.unit`` span under span-export mode, and the spans it
+    finishes travel back with the result — the exact protocol the
+    counter deltas already use, extended to traces.
+    """
+    fn, item, trace_ctx = task
     before = metrics.snapshot()
-    result = fn(item)
-    return result, metrics.delta(before, metrics.snapshot())
+    with obs_trace.export_spans() as spans:
+        with obs_trace.span("engine.unit", parent=trace_ctx):
+            result = fn(item)
+    return result, metrics.delta(before, metrics.snapshot()), spans
 
 
 class ExecutionEngine:
@@ -171,22 +181,30 @@ class ExecutionEngine:
         self._map_count += 1
         stage = stage or f"map-{self._map_count}"
         started = time.perf_counter()
-        store = self.store if memo_key is not None else None
-        if store is None:
-            results = self._execute(fn, items)
-            memo_hits = memo_misses = 0
-        else:
-            keys = [memo_key(item) for item in items]
-            results = [store.get(self.memo_namespace, key) for key in keys]
-            pending = [i for i, cached in enumerate(results)
-                       if cached is None]
-            memo_hits = len(items) - len(pending)
-            memo_misses = len(pending)
-            if pending:
-                computed = self._execute(fn, [items[i] for i in pending])
-                for i, result in zip(pending, computed):
-                    store.put(self.memo_namespace, keys[i], result)
-                    results[i] = result
+        # No-op outside a trace (batch datagen): span() yields None when
+        # no request trace is ambient, at the cost of one contextvar read.
+        with obs_trace.span("engine.map",
+                            attrs={"stage": stage, "units": len(items),
+                                   "backend": self.backend}) as map_span:
+            store = self.store if memo_key is not None else None
+            if store is None:
+                results = self._execute(fn, items)
+                memo_hits = memo_misses = 0
+            else:
+                keys = [memo_key(item) for item in items]
+                results = [store.get(self.memo_namespace, key)
+                           for key in keys]
+                pending = [i for i, cached in enumerate(results)
+                           if cached is None]
+                memo_hits = len(items) - len(pending)
+                memo_misses = len(pending)
+                if pending:
+                    computed = self._execute(fn, [items[i] for i in pending])
+                    for i, result in zip(pending, computed):
+                        store.put(self.memo_namespace, keys[i], result)
+                        results[i] = result
+                if map_span is not None:
+                    map_span.attrs["memo_hits"] = memo_hits
         elapsed = time.perf_counter() - started
         bucket = self._stage_stats.setdefault(
             stage, {"units": 0, "seconds": 0.0,
@@ -198,18 +216,20 @@ class ExecutionEngine:
         return results
 
     def _execute(self, fn: Callable, items: List) -> List:
-        """The raw ordered map: pool dispatch + metrics accumulation."""
+        """The raw ordered map: pool dispatch + metrics/span accumulation."""
         pool = self._ensure_pool()
-        tasks = [(fn, item) for item in items]
+        trace_ctx = obs_trace.current_tuple()
+        tasks = [(fn, item, trace_ctx) for item in items]
         if pool is None:
-            pairs = [_call_with_metrics(task) for task in tasks]
+            rows = [_call_with_metrics(task) for task in tasks]
         else:
             chunksize = max(1, len(tasks) // (self.n_workers * 4))
-            pairs = list(pool.map(_call_with_metrics, tasks,
-                                  chunksize=chunksize))
+            rows = list(pool.map(_call_with_metrics, tasks,
+                                 chunksize=chunksize))
         results = []
-        for result, counter_delta in pairs:
+        for result, counter_delta, spans in rows:
             metrics.accumulate(self._metric_totals, counter_delta)
+            obs_trace.ingest(spans)
             results.append(result)
         return results
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict
 
+from repro.obs import trace as obs_trace
+
 Counters = Dict[str, int]
 
 _PROVIDERS: Dict[str, Callable[[], Counters]] = {}
@@ -68,13 +70,21 @@ _PROFILE_LOCK = threading.Lock()
 
 
 def add_time(phase: str, seconds: float) -> None:
-    """Charge ``seconds`` of wall time to ``phase`` (``<phase>_us`` counter)."""
+    """Charge ``seconds`` of wall time to ``phase`` (``<phase>_us`` counter).
+
+    When a trace is active the same measurement is also recorded as a
+    ``solve.<phase>`` child span (see
+    :func:`repro.obs.trace.record_phase`), so ``/tracez`` attributes a
+    slow request's time to compile/simulate/monitor/bmc without a
+    second timer in the hot path.
+    """
     micros = int(seconds * 1_000_000)
     if micros <= 0:
         return
     key = f"{phase}_us"
     with _PROFILE_LOCK:
         _PROFILE[key] = _PROFILE.get(key, 0) + micros
+    obs_trace.record_phase(phase, seconds)
 
 
 def profile_counters() -> Counters:

@@ -1,0 +1,38 @@
+"""Observability: request tracing (`trace`) + unified metrics (`metrics`).
+
+The serving stack's operator surface.  :mod:`repro.obs.trace` follows a
+request across threads, processes, and the fleet wire as one trace;
+:mod:`repro.obs.metrics` renders per-instance counters/gauges/histograms
+plus the engine's provider counters as Prometheus text.  Served by
+``GET /tracez`` and ``GET /metricsz`` on every :class:`AssertHttpServer`
+and :class:`FleetRouter`.
+
+Strictly volatile: nothing here enters content keys, digests, or
+response bodies — tracing on or off, the wire bytes are identical.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import (DEFAULT_BUCKETS, Histogram, MetricsRegistry,
+                               merge_expositions, parse_prometheus_text,
+                               render_prometheus)
+from repro.obs.trace import (Span, SpanContext, TraceBuffer, trace_id_for,
+                             merge_trace_records, parse_trace_header,
+                             span)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "TraceBuffer",
+    "merge_expositions",
+    "merge_trace_records",
+    "metrics",
+    "parse_prometheus_text",
+    "parse_trace_header",
+    "render_prometheus",
+    "span",
+    "trace",
+    "trace_id_for",
+]

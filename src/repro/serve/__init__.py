@@ -13,11 +13,14 @@ concurrent traffic:
 - :mod:`repro.serve.cache` — :class:`ResultCache`: content-hash LRU of
   finished responses, so repeat designs skip compute entirely;
 - :mod:`repro.serve.loadgen` — deterministic corpus-sampled request
-  streams and a latency/throughput harness (p50/p95, req/s) feeding
-  ``benchmarks/bench_serve.py`` and ``benchmarks/bench_http.py``;
+  streams and a latency/throughput harness (p50/p95/p99, req/s)
+  feeding ``benchmarks/bench_serve.py`` and ``benchmarks/bench_http.py``;
 - :mod:`repro.serve.http` — :class:`AssertHttpServer`: the stdlib
   JSON-over-HTTP transport (``POST /v1/solve``, ``GET /healthz`` /
-  ``/statsz``, ``DELETE /v1/solve/{request_id}``, graceful drain);
+  ``/statsz`` / ``/metricsz`` / ``/tracez``,
+  ``DELETE /v1/solve/{request_id}``, graceful drain), carrying
+  request traces across the wire via ``X-Repro-Trace-Id`` (see
+  :mod:`repro.obs`);
 - :mod:`repro.serve.client` — :class:`AssertClient` /
   :class:`SolveHandle`: the wire twin of the in-process API, with
   client-initiated cancellation;

@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.obs import trace as obs_trace
+
 #: Flush reasons, in stats order.
 FLUSH_SIZE = "size"
 FLUSH_TIMEOUT = "timeout"
@@ -139,8 +141,19 @@ class MicroBatcher:
             self.stats.items += len(batch)
             self.stats.max_batch = max(self.stats.max_batch, len(batch))
             self.stats.flush_reasons[reason] += 1
+            # Per-flush span, parented to the first traced member's
+            # inflight span (duck-typed: the batcher stays generic over
+            # queue items).  Making it the consumer thread's ambient span
+            # is what parents the flush's engine.map span into a trace.
+            trace_parent = next(
+                (span for span in (getattr(item, "span", None)
+                                   for item in batch) if span is not None),
+                None)
             try:
-                self._flush(batch, reason)
+                with obs_trace.span("batch.flush", parent=trace_parent,
+                                    attrs={"size": len(batch),
+                                           "reason": reason}):
+                    self._flush(batch, reason)
             except BaseException:  # noqa: BLE001 - must not kill the consumer
                 self.stats.flush_errors += 1
             if stopping:

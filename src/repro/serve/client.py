@@ -183,3 +183,17 @@ class AssertClient:
         if status != 200:
             raise ClientError(status, data.decode("utf-8", "replace"))
         return json.loads(data)
+
+    def metricsz(self) -> str:
+        """The server's Prometheus text exposition (``GET /metricsz``)."""
+        status, _, data = self._request("GET", "/metricsz")
+        if status != 200:
+            raise ClientError(status, data.decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def tracez(self) -> Dict[str, object]:
+        """The server's recent + slowest traces (``GET /tracez``)."""
+        status, _, data = self._request("GET", "/tracez")
+        if status != 200:
+            raise ClientError(status, data.decode("utf-8", "replace"))
+        return json.loads(data)

@@ -28,6 +28,13 @@ reproduction runs as an actual service without growing a dependency:
   starts); ``GET /statsz`` — :meth:`AssertService.statsz` (the full
   :class:`ServiceStats` snapshot incl. queue-depth/inflight gauges,
   plus backing-store counters).
+- ``GET /metricsz`` — Prometheus text (HTTP edge + service registries
+  plus engine provider counters); ``GET /tracez`` — JSON, the recent
+  and slowest request traces (see :mod:`repro.obs`).  Solve requests
+  carry an optional ``X-Repro-Trace-Id`` header (``trace_id`` or
+  ``trace_id/parent_span_id``): the server continues that trace, which
+  is how a fleet-routed request stays one coherent trace across
+  router and backend.
 - ``DELETE /v1/solve/{request_id}`` — client-initiated cancellation
   (:meth:`AssertService.cancel`): queued requests are dropped, in-batch
   ones abandoned (result cached, not delivered).
@@ -49,6 +56,8 @@ from socketserver import ThreadingMixIn
 from typing import Dict, Optional, Tuple
 from urllib.parse import unquote
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.serve.service import (
     AssertService,
     ScoredProposal,
@@ -79,6 +88,20 @@ STATUS_HTTP_CODES = {
 #: SolveOptions fields a request body may set (anything else is a 400).
 _OPTION_KEYS = ("hints", "mine_hints", "max_proposals", "hallucination_rate",
                 "bmc_depth", "bmc_random_trials", "deadline_ms")
+
+#: Prometheus content type for ``GET /metricsz``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _handler_label(command: str, path: str) -> str:
+    """Low-cardinality route label for the per-request metrics."""
+    if path == "/v1/solve":
+        return "solve"
+    if path.startswith("/v1/solve/") and command == "DELETE":
+        return "cancel"
+    if path in ("/healthz", "/statsz", "/metricsz", "/tracez"):
+        return path[1:]
+    return "other"
 
 
 # -- wire codecs ---------------------------------------------------------------
@@ -240,10 +263,17 @@ class _Handler(BaseHTTPRequestHandler):
     def ctx(self) -> "AssertHttpServer":
         return self.server.ctx
 
+    def parse_request(self) -> bool:
+        # Request-clock start: after the request line arrived, so idle
+        # keep-alive wait never counts as handling time.
+        self._obs_started = time.perf_counter()
+        return super().parse_request()
+
     def _send_body(self, code: int, body: bytes,
-                   headers: Optional[Dict[str, str]] = None) -> None:
+                   headers: Optional[Dict[str, str]] = None,
+                   content_type: str = "application/json") -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -251,6 +281,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+        self.ctx.observe_http(
+            _handler_label(self.command, self.path), code,
+            getattr(self, "_obs_started", None))
 
     def _send_json(self, code: int, payload: dict,
                    headers: Optional[Dict[str, str]] = None) -> None:
@@ -295,6 +328,22 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_error_json(400, str(exc))
             return
+        # One server span per solve request.  An incoming
+        # X-Repro-Trace-Id (injected by the fleet router, or set by a
+        # client correlating its own retries) continues that trace; an
+        # absent or malformed header derives the same deterministic id
+        # the service would.  root=True: this span finalizes the trace's
+        # local fragment when it ends.
+        incoming_id, incoming_parent = obs_trace.parse_trace_header(
+            self.headers.get(obs_trace.TRACE_HEADER, ""))
+        trace_id = incoming_id or obs_trace.trace_id_for(
+            request.cache_key(), request.request_id)
+        with obs_trace.span("http.server", parent=incoming_parent,
+                            trace_id=trace_id, root=True) as server_span:
+            self._solve(ctx, request, server_span)
+
+    def _solve(self, ctx: "AssertHttpServer", request: SolveRequest,
+               server_span) -> None:
         try:
             future = ctx.service.submit(request)
         except ServiceOverloaded as exc:
@@ -325,6 +374,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
             return
         code = STATUS_HTTP_CODES.get(response.status, 500)
+        if server_span is not None:
+            server_span.attrs["status"] = response.status
+            server_span.attrs["code"] = code
         # The body IS SolveResponse.to_json(): byte-identical to the
         # in-process serialization for the same request content hash.
         self._send_body(code, response.to_json().encode("utf-8"))
@@ -364,7 +416,12 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(200, {"status": "ok"})
         elif self.path == "/statsz":
-            self._send_json(200, ctx.service.statsz())
+            self._send_json(200, ctx.statsz())
+        elif self.path == "/metricsz":
+            self._send_body(200, ctx.metricsz().encode("utf-8"),
+                            content_type=PROMETHEUS_CONTENT_TYPE)
+        elif self.path == "/tracez":
+            self._send_json(200, ctx.tracez())
         else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
 
@@ -410,6 +467,37 @@ class AssertHttpServer:
         self._httpd: Optional[_ThreadedHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self.metrics = obs_metrics.MetricsRegistry()
+        self._http_requests = self.metrics.counter_family(
+            "repro_http_requests_total", "HTTP responses sent.",
+            ("handler", "code"))
+        self._http_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Request handling time, request line to body written.")
+
+    # -- observability ----------------------------------------------------
+
+    def observe_http(self, handler: str, code: int,
+                     started: Optional[float]) -> None:
+        """Per-response bookkeeping, called by the handler on every send."""
+        self._http_requests.labels(handler=handler, code=str(code)).inc()
+        if started is not None:
+            self._http_seconds.observe(time.perf_counter() - started)
+
+    def statsz(self) -> Dict[str, object]:
+        """The ``GET /statsz`` payload (the service's, unchanged)."""
+        return self.service.statsz()
+
+    def metricsz(self) -> str:
+        """The ``GET /metricsz`` exposition: this edge's HTTP metrics,
+        the fronted service's registry, and the process-global engine
+        provider counters (compile cache, stores, solve profile)."""
+        return obs_metrics.render_prometheus(
+            [self.metrics, self.service.metrics])
+
+    def tracez(self) -> Dict[str, object]:
+        """The ``GET /tracez`` payload: recent + slowest traces."""
+        return obs_trace.buffer().snapshot()
 
     # -- lifecycle -----------------------------------------------------------
 

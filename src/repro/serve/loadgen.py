@@ -11,7 +11,7 @@ a small unique pool with repeats, the shape real serving traffic has
 ``run_load`` drives a target with a fixed client concurrency, measures
 per-request latency from ``submit()`` to ``result()``, honours
 backpressure (an overloaded queue is retried with a short pause, and
-counted), and reports p50/p95/max latency plus requests/sec in a
+counted), and reports p50/p95/p99/max latency plus requests/sec in a
 :class:`LoadReport`.  The target is anything with the service surface —
 an in-process :class:`AssertService` *or* an HTTP
 :class:`repro.serve.client.AssertClient` — so ``benchmarks/bench_http.py``
@@ -104,6 +104,7 @@ class LoadReport:
     req_per_sec: float
     p50_ms: float
     p95_ms: float
+    p99_ms: float
     max_ms: float
     errors: int
     backpressure_retries: int
@@ -116,6 +117,7 @@ class LoadReport:
                 "req_per_sec": round(self.req_per_sec, 3),
                 "p50_ms": round(self.p50_ms, 3),
                 "p95_ms": round(self.p95_ms, 3),
+                "p99_ms": round(self.p99_ms, 3),
                 "max_ms": round(self.max_ms, 3),
                 "errors": self.errors,
                 "backpressure_retries": self.backpressure_retries}
@@ -192,6 +194,7 @@ def run_load(service, requests: List[SolveRequest],
         req_per_sec=(len(requests) / seconds) if seconds > 0 else 0.0,
         p50_ms=percentile(ordered, 0.50),
         p95_ms=percentile(ordered, 0.95),
+        p99_ms=percentile(ordered, 0.99),
         max_ms=ordered[-1] if ordered else 0.0,
         errors=errors, backpressure_retries=total_retries,
         responses=list(responses))

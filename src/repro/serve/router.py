@@ -44,13 +44,17 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 from bisect import bisect_right, insort
 from dataclasses import dataclass
 from hashlib import sha256
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 from urllib.parse import unquote
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.serve.http import (
+    PROMETHEUS_CONTENT_TYPE,
     AssertHttpServer,
     _Handler,
     _ThreadedHTTPServer,
@@ -285,17 +289,28 @@ class _RouterHandler(_Handler):
             self._send_error_json(400, str(exc))
             return
 
-        routed = ctx.route_solve(request.cache_key(), body)
-        if routed is None:
-            self.close_connection = True
-            self._send_error_json(503, "no healthy backends")
-            return
-        status, headers, data = routed
-        relay: Dict[str, str] = {}
-        if "retry-after" in headers:
-            relay["Retry-After"] = headers["retry-after"]
-        # The backend's bytes, verbatim: routing never re-serializes.
-        self._send_body(status, data, relay or None)
+        # The router roots (or continues) the request's trace; every
+        # forward below injects X-Repro-Trace-Id, so the backend's
+        # server span — and everything under it — joins this trace.
+        incoming_id, incoming_parent = obs_trace.parse_trace_header(
+            self.headers.get(obs_trace.TRACE_HEADER, ""))
+        trace_id = incoming_id or obs_trace.trace_id_for(
+            request.cache_key(), request.request_id)
+        with obs_trace.span("fleet.route", parent=incoming_parent,
+                            trace_id=trace_id, root=True) as route_span:
+            routed = ctx.route_solve(request.cache_key(), body)
+            if routed is None:
+                self.close_connection = True
+                self._send_error_json(503, "no healthy backends")
+                return
+            status, headers, data = routed
+            if route_span is not None:
+                route_span.attrs["code"] = status
+            relay: Dict[str, str] = {}
+            if "retry-after" in headers:
+                relay["Retry-After"] = headers["retry-after"]
+            # The backend's bytes, verbatim: routing never re-serializes.
+            self._send_body(status, data, relay or None)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         ctx = self.ctx
@@ -313,6 +328,11 @@ class _RouterHandler(_Handler):
                 self._send_json(200, {"status": "ok", "backends": fleet})
         elif self.path == "/statsz":
             self._send_json(200, ctx.statsz())
+        elif self.path == "/metricsz":
+            self._send_body(200, ctx.metricsz().encode("utf-8"),
+                            content_type=PROMETHEUS_CONTENT_TYPE)
+        elif self.path == "/tracez":
+            self._send_json(200, ctx.tracez())
         else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
 
@@ -404,6 +424,27 @@ class FleetRouter:
         self._health_thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._closed = False
+        self.metrics = obs_metrics.MetricsRegistry()
+        self._http_requests = self.metrics.counter_family(
+            "repro_http_requests_total", "HTTP responses sent.",
+            ("handler", "code"))
+        self._http_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Request handling time, request line to body written.")
+        self._forward_seconds = self.metrics.histogram(
+            "repro_router_forward_seconds",
+            "Solve-forward round trip to a backend (success or failure).")
+        for name in ("routed", "spillovers", "failovers", "no_backend",
+                     "cancel_broadcasts"):
+            self.metrics.counter_callback(
+                f"repro_router_{name}_total", f"Router {name} count.",
+                (lambda attr: lambda: getattr(self, attr))(f"_{name}"))
+        self.metrics.gauge_callback(
+            "repro_router_backends_healthy", "Backends currently routed to.",
+            lambda: self.health()[0])
+        self.metrics.gauge_callback(
+            "repro_router_backends_total", "Backends on the ring.",
+            lambda: self.health()[1])
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -556,6 +597,14 @@ class FleetRouter:
                                           timeout=timeout)
         try:
             headers = {"Content-Type": "application/json"} if body else {}
+            # Trace continuation: when this forward happens inside a
+            # request span (fleet.route / fleet.forward), tell the
+            # backend the trace it belongs to.  Health and stats probes
+            # run outside any span and stay headerless.
+            trace_ctx = obs_trace.current()
+            if trace_ctx is not None:
+                headers[obs_trace.TRACE_HEADER] = \
+                    obs_trace.format_trace_header(trace_ctx)
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             data = response.read()
@@ -580,17 +629,22 @@ class FleetRouter:
             slot = self._by_node[node]
             if not slot.healthy:
                 continue
+            started = time.perf_counter()
             try:
-                status, headers, data = self._forward(
-                    slot, "POST", "/v1/solve", body,
-                    self.config.forward_timeout_s)
+                with obs_trace.span("fleet.forward",
+                                    attrs={"node": slot.node}):
+                    status, headers, data = self._forward(
+                        slot, "POST", "/v1/solve", body,
+                        self.config.forward_timeout_s)
             except (OSError, http.client.HTTPException) as exc:
                 # Dead or wedged: eject now (the probe re-admits after
                 # recovery) and re-offer the request to the next node.
+                self._forward_seconds.observe(time.perf_counter() - started)
                 self._eject(slot, f"forward failed: {type(exc).__name__}")
                 with self._lock:
                     self._failovers += 1
                 continue
+            self._forward_seconds.observe(time.perf_counter() - started)
             if status == 429:
                 last_overloaded = (status, headers, data)
                 with self._lock:
@@ -629,6 +683,76 @@ class FleetRouter:
         return total
 
     # -- observability -------------------------------------------------------
+
+    def observe_http(self, handler: str, code: int,
+                     started: Optional[float]) -> None:
+        """Per-response bookkeeping, called by the handler on every send."""
+        self._http_requests.labels(handler=handler, code=str(code)).inc()
+        if started is not None:
+            self._http_seconds.observe(time.perf_counter() - started)
+
+    def metricsz(self) -> str:
+        """The fleet-wide ``GET /metricsz`` exposition.
+
+        Every backend's own exposition is fetched and merged — samples
+        with identical ``name{labels}`` sum, so counters and histogram
+        buckets aggregate fleet-wide — then the router's registry is
+        appended.  The router's copy of the process-global provider
+        section is left out: backends already expose their own, and in
+        the single-process ``make_fleet()`` shape those are one shared
+        set of counters (so, as with the summed ``/statsz`` profile,
+        N co-located backends count shared state N times)."""
+        texts: List[str] = []
+        for slot in self._slots:
+            try:
+                status, _, data = self._forward(
+                    slot, "GET", "/metricsz", None,
+                    self.config.probe_timeout_s)
+                if status == 200:
+                    texts.append(data.decode("utf-8"))
+            except (OSError, http.client.HTTPException) as exc:
+                self._eject(slot, f"metricsz probe failed: "
+                                  f"{type(exc).__name__}")
+        texts.append(obs_metrics.render_prometheus(
+            [self.metrics], include_providers=False))
+        return obs_metrics.merge_expositions(texts)
+
+    def tracez(self) -> Dict[str, object]:
+        """The fleet-wide ``GET /tracez`` payload.
+
+        Backend trace summaries merge with the router's own buffer by
+        trace id (span-deduplicated), so a routed request — one trace
+        spread across the router and a backend — reads as a single
+        record with the router, HTTP, service, and solve spans."""
+        local = obs_trace.buffer().snapshot()
+        recent = list(local["recent"])
+        slowest = list(local["slowest"])
+        reached = 0
+        for slot in self._slots:
+            try:
+                status, _, data = self._forward(
+                    slot, "GET", "/tracez", None,
+                    self.config.probe_timeout_s)
+                payload = json.loads(data) if status == 200 else None
+            except (OSError, http.client.HTTPException) as exc:
+                self._eject(slot, f"tracez probe failed: "
+                                  f"{type(exc).__name__}")
+                continue
+            except ValueError:
+                continue
+            if not isinstance(payload, dict):
+                continue
+            reached += 1
+            recent.extend(payload.get("recent") or ())
+            slowest.extend(payload.get("slowest") or ())
+        merged_slowest = obs_trace.merge_trace_records(slowest)
+        merged_slowest.sort(key=lambda r: -float(r.get("duration_ms") or 0.0))
+        return {
+            "enabled": local["enabled"],
+            "backends_reached": reached,
+            "recent": obs_trace.merge_trace_records(recent),
+            "slowest": merged_slowest,
+        }
 
     def stats(self) -> Dict[str, object]:
         """Router-local counters (no network calls)."""

@@ -45,6 +45,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
 from repro.engine import BACKENDS, ExecutionEngine, derive_rng
 from repro.engine import metrics
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.serve.batcher import MicroBatcher
 from repro.sim.compiled import SIM_MODES
 from repro.serve.cache import ResultCache, content_key
@@ -263,6 +265,12 @@ class SolveTask:
     selects the simulation tier (see :mod:`repro.sim.compiled`) and must
     never change the response, so it stays out of ``key`` — a cached
     response is valid under either mode.
+
+    ``trace_parent`` is the first waiter's inflight span context (a
+    picklable ``(trace_id, span_id)`` tuple), carried so the worker's
+    ``solve`` span lands in the request's trace.  Purely volatile: it
+    never reaches ``key`` or the response, which stays a function of
+    content alone.
     """
 
     key: str
@@ -270,6 +278,7 @@ class SolveTask:
     options: SolveOptions
     seed: int
     sim_mode: str = "compiled"
+    trace_parent: Optional[Tuple[str, str]] = None
 
 
 def _score_hint(hint: SvaHint, design_signals: frozenset) -> float:
@@ -284,9 +293,16 @@ def solve_task(task: SolveTask) -> SolveResponse:
     """Compile, propose, validate, score — one request end to end.
 
     Every random draw derives from ``(seed, "serve", key, ...)``, so the
-    response is a pure function of the task: reorderable across batches,
-    workers and backends, and safely cacheable by content key.
+    response is a pure function of the task (``trace_parent`` included —
+    tracing observes, never steers): reorderable across batches, workers
+    and backends, and safely cacheable by content key.
     """
+    with obs_trace.span("solve", parent=task.trace_parent,
+                        attrs={"key": task.key[:12]}):
+        return _solve_task_inner(task)
+
+
+def _solve_task_inner(task: SolveTask) -> SolveResponse:
     from repro.datagen.stage2 import validate_svas
     from repro.oracles.sva import SvaOracle
 
@@ -457,7 +473,8 @@ class _Pending:
     ``claimed`` and back off instead of double-resolving the future.
     """
 
-    __slots__ = ("request", "future", "expiry", "key", "claimed")
+    __slots__ = ("request", "future", "expiry", "key", "claimed",
+                 "created", "span", "queue_span", "batch_span")
 
     def __init__(self, request: SolveRequest, future: "Future",
                  expiry: Optional[float]):
@@ -466,6 +483,14 @@ class _Pending:
         self.expiry = expiry  # time.monotonic() deadline, or None
         self.key = request.cache_key()
         self.claimed = False
+        # Observability only, all volatile: the submit timestamp feeds
+        # the latency histograms whether or not tracing is enabled; the
+        # spans (inflight / queue-wait / batch-wait) are None when it is
+        # not.  Whichever resolver claims the request also closes them.
+        self.created = time.perf_counter()
+        self.span = None
+        self.queue_span = None
+        self.batch_span = None
 
 
 class _DeadlineTimer:
@@ -595,6 +620,65 @@ class AssertService:
         self._timeouts = 0
         self._cancelled = 0
         self._previous_compile_cache: Optional[tuple] = None
+        self.metrics = obs_metrics.MetricsRegistry()
+        self._request_seconds = self.metrics.histogram(
+            "repro_service_request_seconds",
+            "Accepted-request latency, submit to resolution (any outcome).")
+        self._queue_wait_seconds = self.metrics.histogram(
+            "repro_service_queue_wait_seconds",
+            "Time an accepted request waited before batch pickup.")
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose the existing counters through the metrics registry.
+
+        Everything here is callback-backed — ``/metricsz`` reads the
+        same bookkeeping ``stats()`` reports, so no number is maintained
+        twice and registration costs the hot path nothing.
+        """
+        def reader(attr: str):
+            return lambda: getattr(self, attr)
+
+        for name in ("submitted", "completed", "rejected", "errors",
+                     "solved", "deduped", "compile_errors", "timeouts",
+                     "cancelled"):
+            self.metrics.counter_callback(
+                f"repro_service_{name}_total",
+                f"Cumulative {name} requests.", reader(f"_{name}"))
+        self.metrics.gauge_callback(
+            "repro_service_queue_depth", "Requests waiting in the queue.",
+            lambda: self._queue.qsize())
+        self.metrics.gauge_callback(
+            "repro_service_queue_capacity", "Bounded queue capacity.",
+            lambda: self.config.max_queue)
+        self.metrics.gauge_callback(
+            "repro_service_inflight",
+            "Accepted requests not yet resolved.",
+            lambda: max(0, self._submitted - self._completed - self._errors))
+        if self._cache is not None:
+            self.metrics.counter_callback(
+                "repro_service_cache_hits_total", "Result-cache hits.",
+                lambda: self._cache.hits)
+            self.metrics.counter_callback(
+                "repro_service_cache_misses_total", "Result-cache misses.",
+                lambda: self._cache.misses)
+            self.metrics.gauge_callback(
+                "repro_service_cache_entries", "Live result-cache entries.",
+                lambda: len(self._cache))
+        self.metrics.provider(
+            "repro_engine",
+            "Worker-side counter deltas accumulated by the engine.",
+            self._engine_worker_totals)
+
+    def _engine_worker_totals(self) -> Dict[str, int]:
+        engine = self._engine
+        if engine is None:
+            return {}
+        flat: Dict[str, int] = {}
+        for provider, counters in engine.metric_totals().items():
+            for key, value in counters.items():
+                flat[f"{provider}_{key}"] = value
+        return flat
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -674,16 +758,34 @@ class AssertService:
         expiry = (time.monotonic() + deadline / 1000.0
                   if deadline is not None else None)
         pending = _Pending(request, future, expiry)
+        # Open the trace before any resolution path can see the request:
+        # the inflight span roots the trace for in-process callers and
+        # joins the HTTP server span's trace (the ambient context) when
+        # one is active on this thread.
+        if obs_trace.enabled():
+            parent = obs_trace.current()
+            trace_id = (parent.trace_id if parent is not None
+                        else obs_trace.trace_id_for(pending.key,
+                                                    request.request_id))
+            attrs = ({"request_id": request.request_id}
+                     if request.request_id else None)
+            pending.span = obs_trace.begin(
+                "request.inflight", parent=parent, trace_id=trace_id,
+                root=parent is None, attrs=attrs)
+            pending.queue_span = obs_trace.begin("queue.wait",
+                                                 parent=pending.span)
         # Atomic closed-check + enqueue (put_nowait never blocks, so
         # holding the lock is safe): a submit can therefore never land
         # behind close()'s stop sentinel and be silently stranded.
         with self._lock:
             if self._closed:
+                self._end_spans(pending, "closed")
                 raise ServiceClosed("service is closed")
             try:
                 self._queue.put_nowait(pending)
             except queue.Full:
                 self._rejected += 1
+                self._end_spans(pending, "rejected")
                 raise ServiceOverloaded(
                     f"request queue full ({self.config.max_queue} pending)"
                 ) from None
@@ -742,6 +844,8 @@ class AssertService:
             elif response.status == "cancelled":
                 self._cancelled += 1
             self._unregister_locked(pending)
+        self._request_seconds.observe(time.perf_counter() - pending.created)
+        self._end_spans(pending, response.status)
         if pending.expiry is not None and response.status != "timeout":
             self._timer.discard(pending)
         pending.future.set_result(response)
@@ -755,10 +859,22 @@ class AssertService:
             pending.claimed = True
             self._errors += 1
             self._unregister_locked(pending)
+        self._request_seconds.observe(time.perf_counter() - pending.created)
+        self._end_spans(pending, "error")
         if pending.expiry is not None:
             self._timer.discard(pending)
         pending.future.set_exception(exc)
         return True
+
+    @staticmethod
+    def _end_spans(pending: _Pending, status: str) -> None:
+        """Close whatever request spans are still open (end is
+        idempotent, so racing with the batch-pickup close is safe)."""
+        for span_obj in (pending.queue_span, pending.batch_span):
+            if span_obj is not None:
+                span_obj.end()
+        if pending.span is not None:
+            pending.span.end(status=status)
 
     def _unregister_locked(self, pending: _Pending) -> None:
         request_id = pending.request.request_id
@@ -807,9 +923,16 @@ class AssertService:
         # never computed at all — a queued cancel or expiry saves its
         # compute entirely.
         groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
+        picked = time.perf_counter()
         for pending in batch:
             if pending.future.done():
                 continue
+            self._queue_wait_seconds.observe(picked - pending.created)
+            if pending.span is not None:
+                if pending.queue_span is not None:
+                    pending.queue_span.end()
+                pending.batch_span = obs_trace.begin("batch.wait",
+                                                     parent=pending.span)
             groups.setdefault(pending.key, []).append(pending)
 
         dedup_extra = (sum(len(waiters) for waiters in groups.values())
@@ -829,7 +952,10 @@ class AssertService:
                            design_source=groups[key][0].request.design_source,
                            options=groups[key][0].request.options,
                            seed=self.config.seed,
-                           sim_mode=self.config.sim_mode)
+                           sim_mode=self.config.sim_mode,
+                           trace_parent=(
+                               groups[key][0].span.context_tuple()
+                               if groups[key][0].span is not None else None))
                  for key in misses]
         with self._lock:
             self._deduped += dedup_extra

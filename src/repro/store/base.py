@@ -29,7 +29,10 @@ from __future__ import annotations
 import hashlib
 import re
 import threading
+import weakref
 from typing import Dict, Optional
+
+from repro.engine import metrics as engine_metrics
 
 #: Canonical namespaces, versioned so schema changes never mix artifacts.
 NS_COMPILE = "compile/v1"
@@ -91,6 +94,7 @@ class ArtifactStore:
         self.evictions = 0
         self.corrupt = 0
         self._lock = threading.RLock()
+        _LIVE_STORES.add(self)
 
     # -- contract ------------------------------------------------------------
 
@@ -119,3 +123,37 @@ class ArtifactStore:
     def __repr__(self) -> str:  # pragma: no cover
         return (f"{type(self).__name__}({len(self)} entries, "
                 f"{self.hits} hits, {self.misses} misses)")
+
+
+# -- metrics provider ----------------------------------------------------------
+#
+# Every live store instance is tracked in a WeakSet so its counters reach
+# ``/metricsz`` through the engine provider registry with zero per-call-
+# site glue — constructing a store is enough.  Counters are summed per
+# tier class (``disk_hits``, ``tiered_misses``, ...).  A collected store
+# takes its counts with it, so across a store's death the totals are an
+# upper bound on increments, same caveat as the thread backend's deltas.
+
+_LIVE_STORES: "weakref.WeakSet[ArtifactStore]" = weakref.WeakSet()
+
+
+def store_counters() -> Dict[str, int]:
+    """Metrics provider: per-tier-class counter sums over live stores."""
+    totals: Dict[str, int] = {}
+    for store in list(_LIVE_STORES):
+        prefix = type(store).__name__.lower()
+        if prefix.endswith("store"):
+            prefix = prefix[:-len("store")] or "store"
+        for key, value in store.counters().items():
+            # TieredStore nests its front/back counter dicts; those
+            # stores are live (and counted) under their own prefixes.
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            name = f"{prefix}_{key}"
+            totals[name] = totals.get(name, 0) + value
+        name = f"{prefix}_instances"
+        totals[name] = totals.get(name, 0) + 1
+    return totals
+
+
+engine_metrics.register_provider("store", store_counters)

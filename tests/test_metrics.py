@@ -1,0 +1,136 @@
+"""Engine metrics provider registry: the edge cases around workers.
+
+The registry's contract is deceptively small — register, snapshot,
+delta, accumulate — but the engine leans on its corners: a provider
+registered *after* a unit's "before" snapshot was taken (import-time
+registration inside a worker), snapshots whose key sets drifted between
+before and after, and accumulation over empty deltas.  These are the
+cases that corrupt fleet-wide counters silently when they regress, so
+they get pinned here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import metrics
+
+
+@pytest.fixture()
+def provider_sandbox(monkeypatch):
+    """Register test providers without leaking into other tests.
+
+    ``monkeypatch.setitem`` restores ``_PROVIDERS`` entries on teardown;
+    the fixture hands back a helper that both registers and schedules
+    the cleanup.
+    """
+    def install(name, fn):
+        monkeypatch.setitem(metrics._PROVIDERS, name, fn)
+
+    return install
+
+
+class TestProviderRegistry:
+    def test_snapshot_copies_provider_dicts(self, provider_sandbox):
+        counters = {"hits": 1}
+        provider_sandbox("copytest", lambda: counters)
+        snap = metrics.snapshot()
+        counters["hits"] = 99
+        # The snapshot is a copy — later provider mutation can't rewrite
+        # an already-taken "before" snapshot.
+        assert snap["copytest"]["hits"] == 1
+
+    def test_register_provider_replaces(self, provider_sandbox):
+        provider_sandbox("replacetest", lambda: {"v": 1})
+        metrics.register_provider("replacetest", lambda: {"v": 2})
+        assert metrics.snapshot()["replacetest"] == {"v": 2}
+
+    def test_provider_registered_mid_run_appears_as_full_delta(
+            self, provider_sandbox):
+        # A worker imports a subsystem lazily: its provider shows up only
+        # in the "after" snapshot.  The whole value must count as the
+        # delta — there was no baseline to subtract.
+        before = metrics.snapshot()
+        assert "midrun" not in before
+        provider_sandbox("midrun", lambda: {"compiles": 3, "hits": 0})
+        after = metrics.snapshot()
+        diff = metrics.delta(before, after)
+        assert diff["midrun"] == {"compiles": 3}  # zero-delta keys dropped
+
+    def test_provider_gone_from_after_is_dropped_not_negative(
+            self, provider_sandbox):
+        provider_sandbox("transient", lambda: {"n": 5})
+        before = metrics.snapshot()
+        del metrics._PROVIDERS["transient"]
+        after = metrics.snapshot()
+        # delta() only walks "after": a vanished provider contributes
+        # nothing rather than a nonsense negative.
+        assert "transient" not in metrics.delta(before, after)
+
+
+class TestDelta:
+    def test_missing_keys_on_either_side(self):
+        before = {"p": {"a": 2, "gone": 7}}
+        after = {"p": {"a": 5, "fresh": 3, "gone": 7}}
+        diff = metrics.delta(before, after)
+        # New key counts in full; unchanged key is elided; a key only in
+        # "before" never yields a phantom negative.
+        assert diff == {"p": {"a": 3, "fresh": 3}}
+
+    def test_all_zero_deltas_elide_the_provider(self):
+        snap = {"p": {"a": 1}, "q": {"b": 2}}
+        assert metrics.delta(snap, snap) == {}
+
+    def test_negative_movement_is_reported_not_masked(self):
+        # Providers promise monotonic counters; if one breaks the
+        # promise the delta surfaces it (a -1 in totals is debuggable,
+        # a silently clamped 0 is not).
+        diff = metrics.delta({"p": {"a": 5}}, {"p": {"a": 4}})
+        assert diff == {"p": {"a": -1}}
+
+
+class TestAccumulate:
+    def test_accumulate_over_empty_snapshots(self):
+        total = {}
+        metrics.accumulate(total, {})
+        assert total == {}
+        metrics.accumulate(total, {"p": {"a": 1}})
+        assert total == {"p": {"a": 1}}
+        metrics.accumulate(total, {})  # empty increment is a no-op
+        assert total == {"p": {"a": 1}}
+
+    def test_accumulate_merges_in_place_across_providers(self):
+        total = {"p": {"a": 1}}
+        metrics.accumulate(total, {"p": {"a": 2, "b": 10}, "q": {"c": 4}})
+        metrics.accumulate(total, {"q": {"c": 1}})
+        assert total == {"p": {"a": 3, "b": 10}, "q": {"c": 5}}
+
+    def test_round_trip_delta_then_accumulate(self):
+        # The engine's actual loop: accumulate(delta(before, after))
+        # over units reproduces the direct counter movement.
+        before = {"p": {"a": 10, "b": 1}}
+        mid = {"p": {"a": 12, "b": 1}}
+        after = {"p": {"a": 15, "b": 4}}
+        total = {}
+        metrics.accumulate(total, metrics.delta(before, mid))
+        metrics.accumulate(total, metrics.delta(mid, after))
+        assert total == metrics.delta(before, after)
+
+
+class TestSolveProfile:
+    def test_add_time_accumulates_microseconds(self):
+        base = metrics.profile_counters().get("unittest_phase_us", 0)
+        metrics.add_time("unittest_phase", 0.002)
+        metrics.add_time("unittest_phase", 0.003)
+        assert metrics.profile_counters()["unittest_phase_us"] \
+            == base + 5000
+
+    def test_sub_microsecond_times_are_ignored(self):
+        before = dict(metrics.profile_counters())
+        metrics.add_time("unittest_zero", 0.0)
+        metrics.add_time("unittest_zero", 0.0000001)
+        assert "unittest_zero_us" not in metrics.profile_counters()
+        assert metrics.profile_counters() == before
+
+    def test_profile_is_a_registered_provider(self):
+        assert "solve_profile" in metrics.snapshot()
