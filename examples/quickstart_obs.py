@@ -12,6 +12,11 @@ endpoints work with ``curl``::
     curl -s localhost:<port>/tracez    # recent + slowest traces, JSON
     curl -s localhost:<port>/metricsz  # fleet-wide Prometheus text
 
+Both take ``?limit=N`` (and ``/tracez`` also ``?slowest=N``) to bound
+the payload.  For *coverage* telemetry — toggle/block coverage and
+assertion vacuity behind ``GET /covz`` — see
+``examples/quickstart_cov.py``.
+
 Run:  PYTHONPATH=src python examples/quickstart_obs.py
 """
 

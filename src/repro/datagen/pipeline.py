@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import cov
 from repro.corpus.generator import CorpusGenerator, resolve_families
 from repro.datagen.records import (
     SvaBugEntry,
@@ -47,8 +48,9 @@ from repro.verilog.compile import (
 
 #: ``DatasetBundle.stats`` keys that legitimately differ between backends
 #: and between cold/warm runs (wall times, worker counts, cache and store
-#: hit attribution).
-VOLATILE_STAT_KEYS = ("engine", "compile_cache", "store", "solve_profile")
+#: hit attribution, coverage-collection totals).
+VOLATILE_STAT_KEYS = ("engine", "compile_cache", "store", "solve_profile",
+                      "coverage")
 
 
 @dataclass
@@ -64,6 +66,11 @@ class DatagenConfig:
     evaluation programs vs the ``"interp"`` AST walker — see
     :mod:`repro.sim.compiled`); none of them changes the produced
     datasets, which is why none of them enters ``semantic_digest``.
+
+    ``coverage`` attaches coverage collection (:mod:`repro.cov`) to every
+    BMC run; the totals land in the volatile ``stats["coverage"]`` key.
+    Like ``sim_mode`` it is a pure execution knob — it changes no dataset
+    byte and stays out of ``semantic_digest``.
 
     ``template_families`` restricts corpus sampling to a subset of the
     registered template families (default: all) and ``family_weights``
@@ -86,6 +93,7 @@ class DatagenConfig:
     compile_cache: bool = True
     compile_cache_size: int = 4096
     sim_mode: str = "compiled"
+    coverage: bool = False
     sva_validation: str = "batched"
     template_families: Optional[Tuple[str, ...]] = None
     family_weights: Optional[Dict[str, float]] = None
@@ -116,6 +124,9 @@ class DatagenConfig:
         if self.sim_mode not in SIM_MODES:
             raise ValueError(
                 f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}")
+        if not isinstance(self.coverage, bool):
+            raise ValueError(
+                f"coverage must be a bool, got {self.coverage!r}")
         if self.sva_validation not in SVA_VALIDATION_MODES:
             raise ValueError(
                 f"sva_validation must be one of {SVA_VALIDATION_MODES}, "
@@ -169,7 +180,8 @@ class DatagenConfig:
     def bmc(self) -> BmcConfig:
         return BmcConfig(depth=self.bmc_depth,
                          random_trials=self.bmc_random_trials,
-                         seed=self.seed, sim_mode=self.sim_mode)
+                         seed=self.seed, sim_mode=self.sim_mode,
+                         coverage=self.coverage)
 
     def make_engine(self, store=None) -> ExecutionEngine:
         """An engine whose workers inherit this config's cache knobs.
@@ -316,12 +328,13 @@ def run_pipeline(config: DatagenConfig) -> DatasetBundle:
         store_max_bytes=config.store.max_bytes if store_path else 0)
     cache_before = default_compile_cache().counters()
     profile_before = metrics.profile_counters()
+    coverage_before = cov.coverage_counters()
     try:
         with config.make_engine(store=store) as engine:
             outputs = build_stage_graph(config).run(engine)
             bundle = _assemble(config, outputs)
             _attach_execution_stats(bundle, engine, cache_before, store,
-                                    profile_before)
+                                    profile_before, coverage_before)
     finally:
         configure_compile_cache(*previous_cache)
     return bundle
@@ -368,10 +381,11 @@ def _assemble(config: DatagenConfig, outputs: Dict[str, object]
 def _attach_execution_stats(bundle: DatasetBundle, engine: ExecutionEngine,
                             cache_before: Dict[str, int],
                             store=None,
-                            profile_before: Optional[Dict[str, int]] = None
+                            profile_before: Optional[Dict[str, int]] = None,
+                            coverage_before: Optional[Dict[str, int]] = None
                             ) -> None:
     """Add the volatile ``engine`` / ``compile_cache`` / ``store`` /
-    ``solve_profile`` keys."""
+    ``solve_profile`` / ``coverage`` keys."""
     if store is None:
         bundle.stats["store"] = {"enabled": False}
     else:
@@ -408,4 +422,16 @@ def _attach_execution_stats(bundle: DatasetBundle, engine: ExecutionEngine,
                 "solve_profile", {}).items():
             profile[key] = profile.get(key, 0) + value
     bundle.stats["solve_profile"] = profile
+    # Coverage-collection totals from the run, same local-delta plus
+    # worker-delta merge as the solve profile.  All zeros unless the
+    # config's ``coverage`` knob was on.
+    coverage_before = coverage_before or {}
+    coverage_after = cov.coverage_counters()
+    coverage = {key: coverage_after.get(key, 0) - coverage_before.get(key, 0)
+                for key in coverage_after}
+    if engine.backend == "process":
+        for key, value in engine.metric_totals().get(
+                "coverage", {}).items():
+            coverage[key] = coverage.get(key, 0) + value
+    bundle.stats["coverage"] = coverage
     bundle.stats["engine"] = engine.stats()

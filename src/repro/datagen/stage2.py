@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro.bugs.classify import classify_relation
 from repro.bugs.injector import BugInjector
+from repro.cov import merge_reports
 from repro.corpus.meta import DesignSeed
 from repro.datagen.records import SvaBugEntry, VerilogBugEntry
 from repro.datagen.stage1 import unit_ids
@@ -84,21 +85,27 @@ class Stage2Task:
 
 def _validate_svas_per_proposal(seed: DesignSeed,
                                 proposals: List[SvaProposal],
-                                bmc: BmcConfig
+                                bmc: BmcConfig,
+                                coverage_out: Optional[dict] = None
                                 ) -> "tuple[List[SvaProposal], int]":
     """Reference validation: one full bounded check per proposal."""
     valid: List[SvaProposal] = []
     rejected = 0
+    reports = []
     for proposal in proposals:
         combined = compile_with_sva(seed.source, proposal.blocks())
         if not combined.ok:
             rejected += 1
             continue
         check = bounded_check(combined.design, bmc)
+        if check.coverage:
+            reports.append(check.coverage)
         if not check.passed_bound:
             rejected += 1
             continue
         valid.append(proposal)
+    if coverage_out is not None and reports:
+        coverage_out.update(merge_reports(reports))
     return valid, rejected
 
 
@@ -108,7 +115,8 @@ def _assertion_label(proposal: SvaProposal) -> str:
 
 
 def validate_svas(seed: DesignSeed, proposals: List[SvaProposal],
-                  bmc: BmcConfig, mode: str = "batched"
+                  bmc: BmcConfig, mode: str = "batched",
+                  coverage_out: Optional[dict] = None
                   ) -> "tuple[List[SvaProposal], int]":
     """Keep proposals that compile into and hold on the golden design.
 
@@ -117,18 +125,24 @@ def validate_svas(seed: DesignSeed, proposals: List[SvaProposal],
     identical to ``per_proposal`` (asserted by the test suite) at a
     fraction of the simulation cost.  Falls back to the reference path
     whenever per-label attribution would be ambiguous.
+
+    With ``bmc.coverage`` on, ``coverage_out`` (a dict) receives the
+    coverage report the validating checks already produced — callers get
+    telemetry without re-running a single simulation.
     """
     if mode not in SVA_VALIDATION_MODES:
         raise ValueError(f"sva_validation must be one of "
                          f"{SVA_VALIDATION_MODES}, got {mode!r}")
     if mode == "per_proposal" or len(proposals) <= 1:
-        return _validate_svas_per_proposal(seed, proposals, bmc)
+        return _validate_svas_per_proposal(seed, proposals, bmc,
+                                           coverage_out)
 
     golden = compile_source(seed.source)
     if not golden.ok or (golden.design is not None
                          and golden.design.assertions):
         # Pre-existing assertions would mix with proposal labels.
-        return _validate_svas_per_proposal(seed, proposals, bmc)
+        return _validate_svas_per_proposal(seed, proposals, bmc,
+                                           coverage_out)
 
     compiling: List[SvaProposal] = []
     rejected = 0
@@ -147,15 +161,17 @@ def validate_svas(seed: DesignSeed, proposals: List[SvaProposal],
         # Individually-valid proposals that clash when combined: ambiguous
         # attribution, use the reference path.
         valid, more_rejected = _validate_svas_per_proposal(
-            seed, compiling, bmc)
+            seed, compiling, bmc, coverage_out)
         return valid, rejected + more_rejected
     combined_labels = {a.label for a in combined.design.assertions}
     if any(_assertion_label(p) not in combined_labels for p in compiling):
         # Label drift would silently accept failing proposals; don't risk it.
         valid, more_rejected = _validate_svas_per_proposal(
-            seed, compiling, bmc)
+            seed, compiling, bmc, coverage_out)
         return valid, rejected + more_rejected
     batch = bounded_check_batch(combined.design, bmc)
+    if coverage_out is not None and batch.coverage:
+        coverage_out.update(batch.coverage)
     valid = [proposal for proposal in compiling
              if not batch.rejects(_assertion_label(proposal))]
     return valid, rejected + (len(compiling) - len(valid))

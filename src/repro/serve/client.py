@@ -32,6 +32,12 @@ from repro.serve.service import (
 __all__ = ["AssertClient", "ClientError", "SolveHandle"]
 
 
+def _query_suffix(**params: Optional[int]) -> str:
+    parts = [f"{name}={value}" for name, value in params.items()
+             if value is not None]
+    return f"?{'&'.join(parts)}" if parts else ""
+
+
 class ClientError(RuntimeError):
     """An HTTP outcome with no structured mapping (5xx, surprises)."""
 
@@ -191,9 +197,20 @@ class AssertClient:
             raise ClientError(status, data.decode("utf-8", "replace"))
         return data.decode("utf-8")
 
-    def tracez(self) -> Dict[str, object]:
-        """The server's recent + slowest traces (``GET /tracez``)."""
-        status, _, data = self._request("GET", "/tracez")
+    def tracez(self, limit: Optional[int] = None,
+               slowest: Optional[int] = None) -> Dict[str, object]:
+        """The server's recent + slowest traces (``GET /tracez``);
+        ``limit`` / ``slowest`` become the endpoint's query params."""
+        status, _, data = self._request(
+            "GET", "/tracez" + _query_suffix(limit=limit, slowest=slowest))
+        if status != 200:
+            raise ClientError(status, data.decode("utf-8", "replace"))
+        return json.loads(data)
+
+    def covz(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The server's retained coverage reports (``GET /covz``)."""
+        status, _, data = self._request(
+            "GET", "/covz" + _query_suffix(limit=limit))
         if status != 200:
             raise ClientError(status, data.decode("utf-8", "replace"))
         return json.loads(data)

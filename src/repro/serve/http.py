@@ -30,7 +30,10 @@ reproduction runs as an actual service without growing a dependency:
   plus backing-store counters).
 - ``GET /metricsz`` — Prometheus text (HTTP edge + service registries
   plus engine provider counters); ``GET /tracez`` — JSON, the recent
-  and slowest request traces (see :mod:`repro.obs`).  Solve requests
+  and slowest request traces (see :mod:`repro.obs`; ``?limit=N`` /
+  ``?slowest=N`` cap the lists); ``GET /covz`` — JSON, the retained
+  per-design coverage reports (``?limit=N``; populated when the
+  service runs with ``ServeConfig.coverage`` on).  Solve requests
   carry an optional ``X-Repro-Trace-Id`` header (``trace_id`` or
   ``trace_id/parent_span_id``): the server continues that trace, which
   is how a fleet-routed request stays one coherent trace across
@@ -54,7 +57,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from socketserver import ThreadingMixIn
 from typing import Dict, Optional, Tuple
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -95,13 +98,36 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 def _handler_label(command: str, path: str) -> str:
     """Low-cardinality route label for the per-request metrics."""
+    path = path.partition("?")[0]
     if path == "/v1/solve":
         return "solve"
     if path.startswith("/v1/solve/") and command == "DELETE":
         return "cancel"
-    if path in ("/healthz", "/statsz", "/metricsz", "/tracez"):
+    if path in ("/healthz", "/statsz", "/metricsz", "/tracez", "/covz"):
         return path[1:]
     return "other"
+
+
+def _query_int_params(query: str) -> Dict[str, int]:
+    """Parse the diagnostic-endpoint query knobs (``limit``/``slowest``).
+
+    Unknown parameters are ignored (lenient fan-out forwarding); a
+    non-integer or negative value raises :class:`ValueError`, which the
+    handler maps to a 400."""
+    params: Dict[str, int] = {}
+    for name, values in parse_qs(query, keep_blank_values=True).items():
+        if name not in ("limit", "slowest"):
+            continue
+        value = values[-1]
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise ValueError(
+                f"{name} must be an integer, got {value!r}") from None
+        if parsed < 0:
+            raise ValueError(f"{name} must be >= 0, got {parsed}")
+        params[name] = parsed
+    return params
 
 
 # -- wire codecs ---------------------------------------------------------------
@@ -181,7 +207,8 @@ def response_from_json(text: str) -> SolveResponse:
         for p in data["proposals"])
     return SolveResponse(data["status"], data["request_key"],
                          proposals=proposals, rejected=data["rejected"],
-                         error=data["error"])
+                         error=data["error"],
+                         coverage=data.get("coverage"))
 
 
 # -- server --------------------------------------------------------------------
@@ -409,19 +436,29 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         ctx = self.ctx
-        if self.path == "/healthz":
+        parsed = urlsplit(self.path)
+        try:
+            params = _query_int_params(parsed.query)
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        route = parsed.path
+        if route == "/healthz":
             if ctx.draining:
                 self.close_connection = True
                 self._send_json(503, {"status": "draining"})
             else:
                 self._send_json(200, {"status": "ok"})
-        elif self.path == "/statsz":
+        elif route == "/statsz":
             self._send_json(200, ctx.statsz())
-        elif self.path == "/metricsz":
+        elif route == "/metricsz":
             self._send_body(200, ctx.metricsz().encode("utf-8"),
                             content_type=PROMETHEUS_CONTENT_TYPE)
-        elif self.path == "/tracez":
-            self._send_json(200, ctx.tracez())
+        elif route == "/tracez":
+            self._send_json(200, ctx.tracez(limit=params.get("limit"),
+                                            slowest=params.get("slowest")))
+        elif route == "/covz":
+            self._send_json(200, ctx.covz(limit=params.get("limit")))
         else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
 
@@ -495,9 +532,24 @@ class AssertHttpServer:
         return obs_metrics.render_prometheus(
             [self.metrics, self.service.metrics])
 
-    def tracez(self) -> Dict[str, object]:
-        """The ``GET /tracez`` payload: recent + slowest traces."""
-        return obs_trace.buffer().snapshot()
+    def tracez(self, limit: Optional[int] = None,
+               slowest: Optional[int] = None) -> Dict[str, object]:
+        """The ``GET /tracez`` payload: recent + slowest traces.
+
+        ``limit`` / ``slowest`` cap the two lists (``?limit=N`` /
+        ``?slowest=N`` on the endpoint) — retention is unchanged, only
+        the payload shrinks."""
+        snapshot = obs_trace.buffer().snapshot()
+        if limit is not None:
+            snapshot["recent"] = snapshot["recent"][:limit]
+        if slowest is not None:
+            snapshot["slowest"] = snapshot["slowest"][:slowest]
+        return snapshot
+
+    def covz(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The ``GET /covz`` payload: retained per-design coverage
+        reports (``?limit=N`` caps how many designs are returned)."""
+        return self.service.covz(limit=limit)
 
     # -- lifecycle -----------------------------------------------------------
 

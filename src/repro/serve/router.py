@@ -49,14 +49,16 @@ from bisect import bisect_right, insort
 from dataclasses import dataclass
 from hashlib import sha256
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
-from urllib.parse import unquote
+from urllib.parse import unquote, urlsplit
 
+from repro import cov
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.serve.http import (
     PROMETHEUS_CONTENT_TYPE,
     AssertHttpServer,
     _Handler,
+    _query_int_params,
     _ThreadedHTTPServer,
     request_from_json,
 )
@@ -314,7 +316,14 @@ class _RouterHandler(_Handler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         ctx = self.ctx
-        if self.path == "/healthz":
+        parsed = urlsplit(self.path)
+        try:
+            params = _query_int_params(parsed.query)
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        route = parsed.path
+        if route == "/healthz":
             healthy, total = ctx.health()
             fleet = {"healthy": healthy, "total": total}
             if ctx.draining:
@@ -326,13 +335,16 @@ class _RouterHandler(_Handler):
                                       "backends": fleet})
             else:
                 self._send_json(200, {"status": "ok", "backends": fleet})
-        elif self.path == "/statsz":
+        elif route == "/statsz":
             self._send_json(200, ctx.statsz())
-        elif self.path == "/metricsz":
+        elif route == "/metricsz":
             self._send_body(200, ctx.metricsz().encode("utf-8"),
                             content_type=PROMETHEUS_CONTENT_TYPE)
-        elif self.path == "/tracez":
-            self._send_json(200, ctx.tracez())
+        elif route == "/tracez":
+            self._send_json(200, ctx.tracez(limit=params.get("limit"),
+                                            slowest=params.get("slowest")))
+        elif route == "/covz":
+            self._send_json(200, ctx.covz(limit=params.get("limit")))
         else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
 
@@ -359,6 +371,13 @@ def _merge_numeric(total: Dict[str, float], payload: Dict[str, object]) -> None:
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
         total[key] = total.get(key, 0) + value
+
+
+def _diag_query(**params: Optional[int]) -> str:
+    """Rebuild the ``?limit=N&slowest=N`` suffix a fan-out forwards."""
+    parts = [f"{name}={value}" for name, value in params.items()
+             if value is not None]
+    return f"?{'&'.join(parts)}" if parts else ""
 
 
 class FleetRouter:
@@ -439,6 +458,14 @@ class FleetRouter:
             self.metrics.counter_callback(
                 f"repro_router_{name}_total", f"Router {name} count.",
                 (lambda attr: lambda: getattr(self, attr))(f"_{name}"))
+        # Health-churn counters live on the slots (stats() sums them the
+        # same way), so operators see ejections/readmissions next to
+        # spillovers/failovers on /metricsz.
+        for name in ("ejections", "readmissions"):
+            self.metrics.counter_callback(
+                f"repro_router_{name}_total",
+                f"Backend {name} across the fleet.",
+                (lambda attr: lambda: self._slot_total(attr))(name))
         self.metrics.gauge_callback(
             "repro_router_backends_healthy", "Backends currently routed to.",
             lambda: self.health()[0])
@@ -566,6 +593,10 @@ class FleetRouter:
         with self._lock:
             healthy = sum(1 for slot in self._slots if slot.healthy)
             return healthy, len(self._slots)
+
+    def _slot_total(self, attr: str) -> int:
+        with self._lock:
+            return sum(getattr(slot, attr) for slot in self._slots)
 
     def _eject(self, slot: _BackendSlot, reason: str) -> None:
         with self._lock:
@@ -717,21 +748,25 @@ class FleetRouter:
             [self.metrics], include_providers=False))
         return obs_metrics.merge_expositions(texts)
 
-    def tracez(self) -> Dict[str, object]:
+    def tracez(self, limit: Optional[int] = None,
+               slowest: Optional[int] = None) -> Dict[str, object]:
         """The fleet-wide ``GET /tracez`` payload.
 
         Backend trace summaries merge with the router's own buffer by
         trace id (span-deduplicated), so a routed request — one trace
         spread across the router and a backend — reads as a single
-        record with the router, HTTP, service, and solve spans."""
+        record with the router, HTTP, service, and solve spans.
+        ``limit`` / ``slowest`` cap the merged lists and are forwarded
+        to every backend, bounding the fan-out payloads too."""
         local = obs_trace.buffer().snapshot()
         recent = list(local["recent"])
-        slowest = list(local["slowest"])
+        slow_records = list(local["slowest"])
         reached = 0
+        query = _diag_query(limit=limit, slowest=slowest)
         for slot in self._slots:
             try:
                 status, _, data = self._forward(
-                    slot, "GET", "/tracez", None,
+                    slot, "GET", f"/tracez{query}", None,
                     self.config.probe_timeout_s)
                 payload = json.loads(data) if status == 200 else None
             except (OSError, http.client.HTTPException) as exc:
@@ -744,15 +779,51 @@ class FleetRouter:
                 continue
             reached += 1
             recent.extend(payload.get("recent") or ())
-            slowest.extend(payload.get("slowest") or ())
-        merged_slowest = obs_trace.merge_trace_records(slowest)
+            slow_records.extend(payload.get("slowest") or ())
+        merged_recent = obs_trace.merge_trace_records(recent)
+        merged_slowest = obs_trace.merge_trace_records(slow_records)
         merged_slowest.sort(key=lambda r: -float(r.get("duration_ms") or 0.0))
+        if limit is not None:
+            merged_recent = merged_recent[:limit]
+        if slowest is not None:
+            merged_slowest = merged_slowest[:slowest]
         return {
             "enabled": local["enabled"],
             "backends_reached": reached,
-            "recent": obs_trace.merge_trace_records(recent),
+            "recent": merged_recent,
             "slowest": merged_slowest,
         }
+
+    def covz(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The fleet-wide ``GET /covz`` payload.
+
+        Every backend's retained per-design reports fold into one view —
+        same design on several backends merges (counts add, covered bits
+        max), so fleet-wide toggle/block/vacuity counters sum exactly
+        once per backend.  ``limit`` caps the merged design list and is
+        forwarded on the fan-out."""
+        payloads: List[Dict[str, object]] = [cov.buffer().snapshot()]
+        reached = 0
+        query = _diag_query(limit=limit)
+        for slot in self._slots:
+            try:
+                status, _, data = self._forward(
+                    slot, "GET", f"/covz{query}", None,
+                    self.config.probe_timeout_s)
+                payload = json.loads(data) if status == 200 else None
+            except (OSError, http.client.HTTPException) as exc:
+                self._eject(slot, f"covz probe failed: "
+                                  f"{type(exc).__name__}")
+                continue
+            except ValueError:
+                continue
+            if not isinstance(payload, dict):
+                continue
+            reached += 1
+            payloads.append(payload)
+        merged = cov.merge_covz_payloads(payloads, limit=limit)
+        merged["backends_reached"] = reached
+        return merged
 
     def stats(self) -> Dict[str, object]:
         """Router-local counters (no network calls)."""

@@ -42,6 +42,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import cov
 from repro.corpus.meta import DesignSeed, SvaHint, TemplateMeta
 from repro.engine import BACKENDS, ExecutionEngine, derive_rng
 from repro.engine import metrics
@@ -221,31 +222,45 @@ class SolveResponse:
     responses with submissions.  Deliberately carries no timing or host
     fields: identical requests must serialize to identical bytes
     (:meth:`to_json`), which is what makes result caching sound.
+
+    ``coverage`` is telemetry, present only when the serving deployment
+    runs with ``ServeConfig.coverage`` on: the coverage report the
+    validating bounded checks produced, plus vacuity-penalized quality
+    scores per served proposal.  It is a deterministic function of
+    request content *given* the knob, and :meth:`to_json` omits the key
+    entirely when it is absent — coverage-off deployments serialize to
+    exactly the pre-coverage bytes.
     """
 
-    __slots__ = ("status", "request_key", "proposals", "rejected", "error")
+    __slots__ = ("status", "request_key", "proposals", "rejected", "error",
+                 "coverage")
 
     def __init__(self, status: str, request_key: str,
                  proposals: Tuple[ScoredProposal, ...] = (),
-                 rejected: int = 0, error: str = ""):
+                 rejected: int = 0, error: str = "",
+                 coverage: Optional[Dict[str, object]] = None):
         self.status = status
         self.request_key = request_key
         self.proposals = proposals
         self.rejected = rejected
         self.error = error
+        self.coverage = coverage
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
     def to_json(self) -> str:
-        return json.dumps({
+        payload = {
             "status": self.status,
             "request_key": self.request_key,
             "proposals": [p.to_dict() for p in self.proposals],
             "rejected": self.rejected,
             "error": self.error,
-        }, sort_keys=True)
+        }
+        if self.coverage is not None:
+            payload["coverage"] = self.coverage
+        return json.dumps(payload, sort_keys=True)
 
     def __repr__(self) -> str:  # pragma: no cover
         if not self.ok:
@@ -266,6 +281,11 @@ class SolveTask:
     never change the response, so it stays out of ``key`` — a cached
     response is valid under either mode.
 
+    ``coverage`` is the same kind of knob: when on, the worker attaches
+    the coverage report its validating checks already produced (no extra
+    simulation) to the response.  Both tiers emit byte-identical
+    reports, so it stays out of ``key`` too.
+
     ``trace_parent`` is the first waiter's inflight span context (a
     picklable ``(trace_id, span_id)`` tuple), carried so the worker's
     ``solve`` span lands in the request's trace.  Purely volatile: it
@@ -278,6 +298,7 @@ class SolveTask:
     options: SolveOptions
     seed: int
     sim_mode: str = "compiled"
+    coverage: bool = False
     trace_parent: Optional[Tuple[str, str]] = None
 
 
@@ -287,6 +308,25 @@ def _score_hint(hint: SvaHint, design_signals: frozenset) -> float:
     coverage = covered / max(1, len(design_signals))
     temporal = 0.2 if hint.antecedent is not None else 0.0
     return round(min(1.0, 0.2 + 0.6 * coverage + temporal), 4)
+
+
+def _vacuity_scores(scored: "List[ScoredProposal]",
+                    report: Dict[str, object]) -> Dict[str, float]:
+    """Discount each proposal's structural score by how often its passes
+    were vacuous during validation: a score of 0 means every observed
+    pass held only because the antecedent never fired."""
+    quality = report.get("assertions", {})
+    out: Dict[str, float] = {}
+    for proposal in scored:
+        counters = quality.get(f"{proposal.name}_assertion")
+        if not counters:
+            out[proposal.name] = proposal.score
+            continue
+        real = counters.get("real_passes", 0)
+        observed = real + counters.get("vacuous", 0)
+        factor = (real / observed) if observed else 0.0
+        out[proposal.name] = round(proposal.score * factor, 4)
+    return out
 
 
 def solve_task(task: SolveTask) -> SolveResponse:
@@ -330,16 +370,26 @@ def _solve_task_inner(task: SolveTask) -> SolveResponse:
     proposals = oracle.propose(seed_like)
     bmc = BmcConfig(depth=options.bmc_depth,
                     random_trials=options.bmc_random_trials,
-                    seed=task.seed, sim_mode=task.sim_mode)
-    valid, rejected = validate_svas(seed_like, proposals, bmc, mode="batched")
+                    seed=task.seed, sim_mode=task.sim_mode,
+                    coverage=task.coverage)
+    coverage_out: Optional[dict] = {} if task.coverage else None
+    valid, rejected = validate_svas(seed_like, proposals, bmc, mode="batched",
+                                    coverage_out=coverage_out)
 
     design_signals = frozenset(compiled.design.symbols)
     scored = [ScoredProposal(p.name, p.property_text, p.assertion_text,
                              _score_hint(p.hint, design_signals), origin)
               for p in valid]
     scored.sort(key=lambda p: (-p.score, p.name))
+    coverage = None
+    if coverage_out:
+        # The report the validating checks already produced — attaching
+        # it costs no extra simulation, keeping the coverage knob off the
+        # solve critical path.
+        coverage = {"report": coverage_out,
+                    "scores": _vacuity_scores(scored, coverage_out)}
     return SolveResponse("ok", task.key, proposals=tuple(scored),
-                         rejected=rejected)
+                         rejected=rejected, coverage=coverage)
 
 
 # -- configuration -------------------------------------------------------------
@@ -364,6 +414,13 @@ class ServeConfig:
     compile_cache: bool = True
     compile_cache_size: int = 4096
     sim_mode: str = "compiled"
+    #: Collect toggle/block coverage and assertion-quality counters from
+    #: every solve's validating checks.  A pure execution knob like
+    #: ``sim_mode``: it never changes which proposals are served, only
+    #: whether responses additionally carry a ``coverage`` block (and
+    #: the ``/covz`` buffer fills).  Off by default so the serving hot
+    #: path pays nothing for it.
+    coverage: bool = False
     seed: int = 2025
     #: Persistent tier under the result cache (and, via the worker
     #: initializer, under every worker's compile cache).  Responses are
@@ -390,6 +447,9 @@ class ServeConfig:
         if self.sim_mode not in SIM_MODES:
             raise ValueError(
                 f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}")
+        if not isinstance(self.coverage, bool):
+            raise ValueError(
+                f"coverage must be a bool, got {self.coverage!r}")
         if not isinstance(self.batch_window_ms, (int, float)) \
                 or isinstance(self.batch_window_ms, bool) \
                 or self.batch_window_ms < 0:
@@ -607,6 +667,10 @@ class AssertService:
         self._engine: Optional[ExecutionEngine] = None
         self._batcher: Optional[MicroBatcher] = None
         self._timer = _DeadlineTimer(self._expire_pending)
+        # Per-service (not process-global) so co-located fleet backends
+        # each retain only what they themselves solved — the router's
+        # /covz merge then counts every report exactly once.
+        self.cov_buffer = cov.CoverageBuffer()
         self._closed = False
         self._lock = threading.Lock()
         self._by_id: Dict[str, List[_Pending]] = {}
@@ -953,6 +1017,7 @@ class AssertService:
                            options=groups[key][0].request.options,
                            seed=self.config.seed,
                            sim_mode=self.config.sim_mode,
+                           coverage=self.config.coverage,
                            trace_parent=(
                                groups[key][0].span.context_tuple()
                                if groups[key][0].span is not None else None))
@@ -991,6 +1056,13 @@ class AssertService:
         if self._cache is not None:
             for key, response in zip(misses, results):
                 self._cache.put(key, response)
+        # Retain coverage reports for /covz — only from fresh solves
+        # (cache hits would double-count their design's counters).
+        for response in results:
+            if response.coverage is not None:
+                report = response.coverage.get("report")
+                if report:
+                    self.cov_buffer.record(report)
 
     # -- reporting -----------------------------------------------------------
 
@@ -1058,4 +1130,17 @@ class AssertService:
                     "solve_profile", {}).items():
                 profile[key] = profile.get(key, 0) + value
         payload["solve_profile"] = profile
+        coverage = dict(cov.coverage_counters())
+        if self._engine is not None and self._engine.backend == "process":
+            for key, value in self._engine.metric_totals().get(
+                    "coverage", {}).items():
+                coverage[key] = coverage.get(key, 0) + value
+        payload["coverage"] = coverage
         return payload
+
+    def covz(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The payload behind ``GET /covz``: this service's retained
+        per-design coverage reports (most recent first), bounded like
+        the trace buffer.  ``limit`` caps how many designs are
+        returned."""
+        return self.cov_buffer.snapshot(limit=limit)

@@ -956,6 +956,9 @@ class CompiledSimulator:
         self.program = program
         self.design = program.design
         self.values: List[FourState] = list(program.initial_values)
+        #: Optional :class:`repro.cov.CoverageSink` — same protocol as the
+        #: interpreter's, fed from the slot list instead of a dict.
+        self.cov = None
 
     # -- environment -----------------------------------------------------
 
@@ -1025,6 +1028,11 @@ class CompiledSimulator:
         # only duplicate it (the single hottest allocation of a run).
         snapshots = trace.snapshots
         inputs_applied = trace.inputs_applied
+        cov = self.cov
+        if cov is not None:
+            # Lazy hand-off: the sink walks the grown snapshot list at
+            # the next begin_run()/report() — nothing per cycle here.
+            cov.begin_run(snapshots)
         yield trace
 
         for _ in range(stimulus.reset_cycles):

@@ -40,6 +40,10 @@ class Simulator:
     def __init__(self, design: Design):
         self.design = design
         self.env: Dict[str, FourState] = {}
+        #: Optional :class:`repro.cov.CoverageSink`; when attached, every
+        #: appended snapshot is also observed for coverage.  Off-path
+        #: cost: one None check per cycle.
+        self.cov = None
         self._reset_env()
 
     # -- environment -----------------------------------------------------
@@ -299,6 +303,11 @@ class Simulator:
         self._reset_env()
         names = trace_signals or sorted(self.design.symbols)
         trace = Trace(names)
+        cov = self.cov
+        if cov is not None:
+            # Lazy hand-off: the sink walks the grown snapshot list at
+            # the next begin_run()/report() — nothing per cycle here.
+            cov.begin_run(trace.snapshots)
         yield trace
         active = reset_values(self.design, active=True)
         inactive = reset_values(self.design, active=False)

@@ -22,6 +22,7 @@ import random
 from time import perf_counter
 from typing import Iterable, List, Optional
 
+from repro.cov import CoverageSink, accumulate_totals
 from repro.engine import metrics
 from repro.sim.compiled import SIM_MODES, make_simulator
 from repro.sim.eval import EvalError
@@ -49,12 +50,15 @@ class BmcConfig:
     ``sim_mode`` selects the execution tier (``"compiled"`` programs or
     the ``"interp"`` AST walker — see :mod:`repro.sim.compiled`); it is
     an execution knob, not a semantic one, and must never change any
-    verdict.
+    verdict.  ``coverage`` attaches a :class:`repro.cov.CoverageSink` to
+    the run — also a pure execution knob: verdicts are unchanged, the
+    result just additionally carries a coverage report.
     """
 
     def __init__(self, depth: int = 12, random_trials: int = 64,
                  exhaustive_bits: int = 12, reset_cycles: int = 2,
-                 seed: int = 2025, sim_mode: str = "compiled"):
+                 seed: int = 2025, sim_mode: str = "compiled",
+                 coverage: bool = False):
         if sim_mode not in SIM_MODES:
             raise ValueError(
                 f"sim_mode must be one of {SIM_MODES}, got {sim_mode!r}")
@@ -64,6 +68,7 @@ class BmcConfig:
         self.reset_cycles = reset_cycles
         self.seed = seed
         self.sim_mode = sim_mode
+        self.coverage = bool(coverage)
 
 
 class BmcResult:
@@ -71,7 +76,9 @@ class BmcResult:
 
     ``failed`` is True when a counterexample was found; ``failures`` holds
     the monitor records from the failing trace, ``trace`` the trace itself
-    and ``stimulus`` the input program that produced it.
+    and ``stimulus`` the input program that produced it.  ``coverage`` is
+    the plain-dict (picklable) coverage report when the config asked for
+    collection, else ``None``.
     """
 
     def __init__(self):
@@ -81,6 +88,7 @@ class BmcResult:
         self.stimulus: Optional[Stimulus] = None
         self.stimuli_tried = 0
         self.sim_error: Optional[str] = None
+        self.coverage: Optional[dict] = None
 
     @property
     def passed_bound(self) -> bool:
@@ -110,13 +118,14 @@ class BmcBatchResult:
     """
 
     __slots__ = ("failed_labels", "error_labels", "stimuli_tried",
-                 "design_error")
+                 "design_error", "coverage")
 
     def __init__(self):
         self.failed_labels: set = set()
         self.error_labels: dict = {}
         self.stimuli_tried = 0
         self.design_error: Optional[str] = None
+        self.coverage: Optional[dict] = None
 
     def rejects(self, label: str) -> bool:
         """Would an individual bounded check have rejected this label?"""
@@ -168,9 +177,13 @@ def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResu
     start = perf_counter()
     sim_seconds = 0.0
     monitor_seconds = 0.0
+    sink = CoverageSink.for_design(design) if config.coverage else None
+    quality: Optional[dict] = {} if config.coverage else None
     try:
         candidates = _candidate_stimuli(design, config)
         simulator = make_simulator(design, config.sim_mode)
+        if sink is not None:
+            simulator.cov = sink
         compiled_props = config.sim_mode == "compiled"
         for stimulus in candidates:
             result.stimuli_tried += 1
@@ -180,7 +193,8 @@ def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResu
                 t1 = perf_counter()
                 sim_seconds += t1 - t0
                 failures = check_assertions(design, trace, config.reset_cycles,
-                                            compiled=compiled_props)
+                                            compiled=compiled_props,
+                                            quality=quality)
                 monitor_seconds += perf_counter() - t1
             except (SimulationError, EvalError) as exc:
                 # Hallucinated SVAs can reference constructs the monitor
@@ -195,6 +209,9 @@ def bounded_check(design: Design, config: Optional[BmcConfig] = None) -> BmcResu
                 return result
         return result
     finally:
+        if sink is not None:
+            result.coverage = sink.report(quality)
+            accumulate_totals(result.coverage)
         metrics.add_time("simulate", sim_seconds)
         metrics.add_time("monitor", monitor_seconds)
         metrics.add_time("bmc", perf_counter() - start)
@@ -226,9 +243,13 @@ def bounded_check_batch(design: Design,
     start = perf_counter()
     sim_seconds = 0.0
     monitor_seconds = 0.0
+    sink = CoverageSink.for_design(design) if config.coverage else None
+    quality: Optional[dict] = {} if config.coverage else None
     try:
         candidates = _candidate_stimuli(design, config)
         simulator = make_simulator(design, config.sim_mode)
+        if sink is not None:
+            simulator.cov = sink
         compiled_props = config.sim_mode == "compiled"
         pending = list(design.assertions)
         for stimulus in candidates:
@@ -245,7 +266,8 @@ def bounded_check_batch(design: Design,
                 sim_seconds += perf_counter() - t0
             checker = IncrementalChecker(design, trace, pending,
                                          config.reset_cycles + 1,
-                                         compiled=compiled_props)
+                                         compiled=compiled_props,
+                                         quality=quality)
             while True:
                 t0 = perf_counter()
                 try:
@@ -275,6 +297,9 @@ def bounded_check_batch(design: Design,
                 break  # every assertion resolved; no verdict can change
         return result
     finally:
+        if sink is not None:
+            result.coverage = sink.report(quality)
+            accumulate_totals(result.coverage)
         metrics.add_time("simulate", sim_seconds)
         metrics.add_time("monitor", monitor_seconds)
         metrics.add_time("bmc", perf_counter() - start)

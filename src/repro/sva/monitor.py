@@ -17,6 +17,7 @@ import threading
 import weakref
 from typing import List, Optional
 
+from repro.cov.collector import new_quality
 from repro.sim.compiled import _FALSE, _TRUE, _X1, UnsupportedDesign, _Lowerer
 from repro.sim.eval import EvalError, Evaluator
 from repro.sim.trace import Trace
@@ -343,6 +344,41 @@ def _bool_verdict(value: FourState) -> str:
     return UNDET
 
 
+def _record_quality(counters, checker: "PropertyChecker",
+                    body: ast.PropExpr, cycle: int, verdict: str) -> None:
+    """Fold one evaluated start cycle into an assertion-quality record.
+
+    For implications the antecedent is re-evaluated at the start cycle to
+    split a TRUE verdict into *vacuous* (antecedent never matched) vs
+    *real* pass — today's checkers collapse both into TRUE.  The extra
+    evaluation dispatches through :meth:`PropertyChecker.eval_prop`, so
+    compiled and interpreted tiers count identically; it only runs when a
+    quality sink is attached.  ``verdict == TRUE`` implies the antecedent
+    was TRUE or FALSE (an UNDET antecedent makes the implication UNDET),
+    and ``verdict == FALSE`` implies it was TRUE — so ``fails`` always
+    pairs with an activation.
+    """
+    if verdict == UNDET:
+        return
+    if isinstance(body, ast.PropImplication):
+        antecedent, _ = checker.eval_prop(body.antecedent, cycle)
+        if antecedent == TRUE:
+            counters["activations"] += 1
+        if verdict == TRUE:
+            if antecedent == FALSE:
+                counters["vacuous"] += 1
+            else:
+                counters["real_passes"] += 1
+        else:
+            counters["fails"] += 1
+        return
+    counters["activations"] += 1
+    if verdict == TRUE:
+        counters["real_passes"] += 1
+    else:
+        counters["fails"] += 1
+
+
 class PropertyChecker:
     """Evaluates one property over a trace.
 
@@ -439,11 +475,14 @@ class PropertyChecker:
         return self.eval_prop(prop.consequent, start)
 
     def check(self, assertion: ResolvedAssertion,
-              skip_cycles: int = 0) -> List[AssertionFailure]:
+              skip_cycles: int = 0,
+              quality: Optional[dict] = None) -> List[AssertionFailure]:
         """All failures of ``assertion`` over the trace.
 
         ``skip_cycles`` excludes the reset preamble from evaluation-start
         positions (matching tools that begin checking after reset release).
+        ``quality`` (label -> counter dict) receives per-assertion
+        activation/vacuity counters when provided.
         """
         failures: List[AssertionFailure] = []
         prop = assertion.prop
@@ -452,6 +491,8 @@ class PropertyChecker:
         disable = prop.disable
         disable_fn = (program.expr_fn(disable)
                       if program is not None and disable is not None else None)
+        counters = (quality.setdefault(assertion.label, new_quality())
+                    if quality is not None else None)
         trace = self.trace
         for cycle in range(skip_cycles, len(trace)):
             if disable is not None:
@@ -462,6 +503,8 @@ class PropertyChecker:
                     continue
             verdict, at = (body_fn(trace, cycle) if body_fn is not None
                            else self.eval_prop(prop.body, cycle))
+            if counters is not None:
+                _record_quality(counters, self, prop.body, cycle, verdict)
             if verdict == FALSE:
                 failures.append(AssertionFailure(
                     self.design.name, assertion.label, prop.name,
@@ -517,15 +560,48 @@ class IncrementalChecker:
 
     def __init__(self, design: Design, trace: Trace,
                  assertions: List[ResolvedAssertion], skip_cycles: int,
-                 compiled: bool = True):
+                 compiled: bool = True, quality: Optional[dict] = None):
         self.checker = PropertyChecker(design, trace, compiled=compiled)
         self.trace = trace
         self.failed: set = set()
         self.errors: dict = {}
-        # [assertion, lookahead, next start cycle]
-        self._pending = [[assertion, property_lookahead(assertion.prop.body),
-                          skip_cycles]
-                         for assertion in assertions]
+        self.quality = quality
+        # [assertion, lookahead, next start cycle, body_fn, disable_fn,
+        #  counters, antecedent, ant_fn, fast] — the per-assertion
+        # closures and quality plumbing are resolved once here, not on
+        # every scan.  ``fast`` is ``(ant_expr_fn, cons_fn, overlapped)``
+        # for implication bodies whose antecedent is a plain boolean:
+        # there ``match_end == cycle``, so the scan can evaluate the
+        # antecedent expression once and then only the consequent —
+        # instead of the whole implication plus a second antecedent pass
+        # for vacuity classification.
+        program = self.checker._program
+        self._pending = []
+        for assertion in assertions:
+            body = assertion.prop.body
+            disable = assertion.prop.disable
+            body_fn = program.prop_fn(body) if program is not None else None
+            disable_fn = (program.expr_fn(disable)
+                          if program is not None and disable is not None
+                          else None)
+            counters = (quality.setdefault(assertion.label, new_quality())
+                        if quality is not None else None)
+            antecedent = ant_fn = fast = None
+            if counters is not None and isinstance(body,
+                                                   ast.PropImplication):
+                antecedent = body.antecedent
+                if program is not None:
+                    ant_fn = program.prop_fn(antecedent)
+                    if body_fn is not None and isinstance(antecedent,
+                                                          ast.PropBool):
+                        ant_expr_fn = program.expr_fn(antecedent.expr)
+                        cons_fn = program.prop_fn(body.consequent)
+                        if ant_expr_fn is not None and cons_fn is not None:
+                            fast = (ant_expr_fn, cons_fn, body.overlapped)
+            self._pending.append(
+                [assertion, property_lookahead(body), skip_cycles,
+                 body_fn, disable_fn, counters, antecedent, ant_fn,
+                 fast])
 
     def all_resolved(self) -> bool:
         return not self._pending
@@ -549,15 +625,14 @@ class IncrementalChecker:
 
     def _scan(self, entry, limit: int) -> bool:
         """Evaluate start cycles up to ``limit``; True when resolved."""
-        assertion, _, cycle = entry
+        (assertion, _, cycle, body_fn, disable_fn,
+         counters, antecedent, ant_fn, fast) = entry
         prop = assertion.prop
         checker = self.checker
-        program = checker._program
-        body_fn = program.prop_fn(prop.body) if program is not None else None
         disable = prop.disable
-        disable_fn = (program.expr_fn(disable)
-                      if program is not None and disable is not None else None)
         trace = self.trace
+        if fast is not None:
+            ant_expr_fn, cons_fn, overlapped = fast
         try:
             while cycle <= limit:
                 if disable is not None:
@@ -567,8 +642,51 @@ class IncrementalChecker:
                     if not active.is_false():
                         cycle += 1
                         continue
+                if fast is not None:
+                    # Mirrors prop_implication with a prop_bool
+                    # antecedent at match_end == cycle; the bounds check
+                    # is moot because cycle <= limit < len(trace).
+                    value = ant_expr_fn((trace, cycle))
+                    if value.value != 0:
+                        verdict, _ = cons_fn(
+                            trace, cycle if overlapped else cycle + 1)
+                        if verdict == TRUE:
+                            counters["activations"] += 1
+                            counters["real_passes"] += 1
+                        elif verdict == FALSE:
+                            counters["activations"] += 1
+                            counters["fails"] += 1
+                    elif value.xmask == 0:
+                        verdict = TRUE
+                        counters["vacuous"] += 1
+                    else:
+                        verdict = UNDET
+                    cycle += 1
+                    if verdict == FALSE:
+                        self.failed.add(assertion.label)
+                        return True
+                    continue
                 verdict, _ = (body_fn(trace, cycle) if body_fn is not None
                               else checker.eval_prop(prop.body, cycle))
+                if counters is not None and verdict != UNDET:
+                    if antecedent is None:
+                        counters["activations"] += 1
+                        counters["real_passes" if verdict == TRUE
+                                 else "fails"] += 1
+                    else:
+                        ant, _ = (ant_fn(trace, cycle)
+                                  if ant_fn is not None
+                                  else checker.eval_prop(antecedent,
+                                                         cycle))
+                        if ant == TRUE:
+                            counters["activations"] += 1
+                        if verdict == TRUE:
+                            if ant == FALSE:
+                                counters["vacuous"] += 1
+                            else:
+                                counters["real_passes"] += 1
+                        else:
+                            counters["fails"] += 1
                 cycle += 1
                 if verdict == FALSE:
                     self.failed.add(assertion.label)
@@ -582,20 +700,24 @@ class IncrementalChecker:
 
 def check_trace(design: Design, trace: Trace,
                 skip_cycles: Optional[int] = None,
-                compiled: bool = True) -> List[AssertionFailure]:
+                compiled: bool = True,
+                quality: Optional[dict] = None) -> List[AssertionFailure]:
     """Check every assertion in ``design`` against ``trace``."""
     if skip_cycles is None:
         skip_cycles = 0
     checker = PropertyChecker(design, trace, compiled=compiled)
     failures: List[AssertionFailure] = []
     for assertion in design.assertions:
-        failures.extend(checker.check(assertion, skip_cycles))
+        failures.extend(checker.check(assertion, skip_cycles,
+                                      quality=quality))
     return failures
 
 
 def check_assertions(design: Design, trace: Trace,
                      reset_cycles: int = 2,
-                     compiled: bool = True) -> List[AssertionFailure]:
+                     compiled: bool = True,
+                     quality: Optional[dict] = None
+                     ) -> List[AssertionFailure]:
     """Like :func:`check_trace` but skipping the reset preamble.
 
     Checking starts one cycle *after* reset release: properties that sample
@@ -604,4 +726,4 @@ def check_assertions(design: Design, trace: Trace,
     common verification practice of arming checkers a cycle after reset.
     """
     return check_trace(design, trace, skip_cycles=reset_cycles + 1,
-                       compiled=compiled)
+                       compiled=compiled, quality=quality)
