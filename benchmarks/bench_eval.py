@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Eval benchmark: memoized pass@k re-runs must actually win.
+
+Runs :func:`repro.eval.run_eval` twice over the Section-IV benchmark
+(machine + human splits) with an identical :class:`EvalConfig` against
+one :class:`repro.store.DiskStore`:
+
+- **cold** — empty store: every case is scored and its ``(n, c)``
+  outcome written through (the store's overhead is paid here);
+- **warm** — populated store: every outcome is served from the
+  ``eval/v1`` memo, so the run never touches the model.
+
+Then a live-server leg: an :class:`AssertHttpServer` over a service
+pointed at the *same* store answers ``POST /v1/eval`` for the same
+request, which must (a) serve every case from the memo and (b) return a
+body byte-identical to the in-process ``EvalReport.to_json()``.
+
+Gates (all fatal):
+
+- ``reports_match``: the warm report is byte-identical to the cold one
+  — the correctness half of the acceptance criterion;
+- ``warm_fully_memoized``: the warm run recomputed zero cases — a miss
+  would mean memo keys leak execution state;
+- ``warm_speedup >= --min-warm-speedup`` (default 5x, warm best-of-3
+  because the warm side is tiny): the performance half;
+- ``wire_matches_in_process``: the HTTP body equals the in-process
+  serialization byte for byte — the transport must not fork
+  determinism;
+- ``server_fully_memoized``: the server-side eval hit the memo for
+  every case, proving the store is the cross-process seam.
+
+Results land in ``BENCH_eval.json`` (CI uploads ``BENCH_eval.ci.json``)
+so the eval-workload trajectory is tracked across PRs like the other
+benches.
+
+Run:  PYTHONPATH=src python benchmarks/bench_eval.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.baselines.engine import make_baseline
+from repro.datagen.pipeline import DatagenConfig, run_pipeline
+from repro.engine import available_cpus
+from repro.eval import EvalConfig, run_eval
+from repro.eval.benchmark import build_benchmark
+from repro.serve import (
+    AssertClient,
+    AssertHttpServer,
+    AssertService,
+    EvalRequest,
+    HttpConfig,
+    ServeConfig,
+)
+from repro.store import StoreConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _timed_eval(model, cases, config, store, label):
+    started = time.perf_counter()
+    report = run_eval(model, cases, config=config, store=store)
+    seconds = time.perf_counter() - started
+    print(f"  {label:<5} {seconds:7.4f}s  "
+          f"memo hits {report.stats['memo_hits']:>4}  "
+          f"computed {report.stats['computed']:>4}")
+    return report, seconds
+
+
+def _wire_leg(model_name, model, cases, config, store_dir):
+    """POST the same eval to a live server sharing the store; return
+    (wire bytes, server-side eval stats)."""
+    service = AssertService(
+        ServeConfig(store=StoreConfig(path=store_dir)))
+    service.register_model(model_name, model)
+    server = AssertHttpServer(service, HttpConfig(port=0))
+    server.start()
+    try:
+        client = AssertClient.for_server(server)
+        report = client.eval(EvalRequest(model_name, cases, config=config))
+        stats = service.stats().to_dict()
+    finally:
+        server.close()
+    return report.to_json(), {key: stats[key] for key in
+                              ("evals", "eval_cases", "eval_memo_hits")}
+
+
+def run_bench(args) -> dict:
+    store_dir = Path(args.store_dir) if args.store_dir \
+        else Path(tempfile.mkdtemp(prefix="bench_eval_"))
+    bundle = run_pipeline(DatagenConfig(
+        n_designs=args.designs, bugs_per_design=args.bugs, seed=args.seed,
+        bmc_depth=args.bmc_depth, bmc_random_trials=args.bmc_random_trials))
+    cases = build_benchmark(bundle, include_human=True).cases
+    model = make_baseline(args.model, seed=0)
+    config = EvalConfig(n_samples=args.n_samples, seed=args.seed + 1)
+    print(f"bench_eval: {len(cases)} cases x {args.n_samples} samples, "
+          f"model={args.model}, cpus={available_cpus()}, store={store_dir}")
+
+    store = StoreConfig(path=store_dir).make_store()
+    cold, cold_s = _timed_eval(model, cases, config, store, "cold")
+    warm_runs = [_timed_eval(model, cases, config, store, "warm")
+                 for _ in range(3)]
+    warm, warm_s = min(warm_runs, key=lambda pair: pair[1])
+
+    wire_body, server_stats = _wire_leg(args.model, model, cases, config,
+                                        store_dir)
+
+    warm_speedup = round(cold_s / warm_s, 3) if warm_s else float("inf")
+    report = {
+        "benchmark": "eval",
+        "n_designs": args.designs,
+        "bugs_per_design": args.bugs,
+        "seed": args.seed,
+        "model": args.model,
+        "n_cases": len(cases),
+        "n_samples": args.n_samples,
+        "cpu_count": available_cpus(),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_speedup": warm_speedup,
+        "min_warm_speedup": args.min_warm_speedup,
+        "warm_win": warm_speedup >= args.min_warm_speedup,
+        "reports_match": warm.to_json() == cold.to_json(),
+        "cold_stats": cold.stats,
+        "warm_stats": warm.stats,
+        "warm_fully_memoized": warm.stats["computed"] == 0,
+        "wire_matches_in_process": wire_body == cold.to_json(),
+        "server_stats": server_stats,
+        "server_fully_memoized":
+            server_stats["eval_memo_hits"] == len(cases),
+        "pass_at_1": cold.pass_at(1),
+        "unix_time": int(time.time()),
+    }
+    output = args.output or REPO_ROOT / "BENCH_eval.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  warm speedup {warm_speedup}x (floor {args.min_warm_speedup}x), "
+          f"reports match: {report['reports_match']}, "
+          f"wire match: {report['wire_matches_in_process']} -> {output}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", type=int, default=48)
+    parser.add_argument("--bugs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--bmc-depth", type=int, default=8)
+    parser.add_argument("--bmc-random-trials", type=int, default=16)
+    parser.add_argument("--model", default="GPT-4")
+    parser.add_argument("--n-samples", type=int, default=400,
+                        help="samples per case (large enough that the "
+                             "cold run is honestly measurable)")
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="store root (default: a fresh temp dir, so "
+                             "the cold run is honestly cold)")
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--min-warm-speedup", type=float, default=5.0,
+                        help="required cold/warm wall-clock ratio "
+                             "(0 disables the gate)")
+    args = parser.parse_args()
+    report = run_bench(args)
+    if not report["reports_match"]:
+        print("  FATAL: warm re-run changed the report bytes")
+        sys.exit(1)
+    if not report["warm_fully_memoized"]:
+        print("  FATAL: warm run recomputed cases (memo misses > 0)")
+        sys.exit(2)
+    if args.min_warm_speedup > 0 and not report["warm_win"]:
+        print("  FATAL: warm-run speedup below floor")
+        sys.exit(3)
+    if not report["wire_matches_in_process"]:
+        print("  FATAL: HTTP body diverged from in-process serialization")
+        sys.exit(4)
+    if not report["server_fully_memoized"]:
+        print("  FATAL: server-side eval missed the shared store memo")
+        sys.exit(5)
+
+
+if __name__ == "__main__":
+    main()

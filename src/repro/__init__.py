@@ -41,12 +41,16 @@ the paper on a pure-Python substrate:
 _API_EXPORTS = ("AssertSolverPipeline", "FleetConfig", "PipelineConfig",
                 "make_fleet")
 _SERVE_EXPORTS = ("AssertClient", "AssertHttpServer", "AssertService",
-                  "FleetRouter", "HttpConfig", "RouterConfig",
-                  "ServeConfig", "SolveOptions", "SolveRequest")
+                  "EvalRequest", "EvalResponse", "FleetRouter", "HttpConfig",
+                  "RouterConfig", "ServeConfig", "SolveOptions",
+                  "SolveRequest")
 _STORE_EXPORTS = ("DiskStore", "MemoryStore", "StoreConfig", "TieredStore")
 _OBS_EXPORTS = ("MetricsRegistry", "TraceBuffer")
-__all__ = [*_API_EXPORTS, *_SERVE_EXPORTS, *_STORE_EXPORTS, *_OBS_EXPORTS]
-__version__ = "1.4.0"
+_EVAL_EXPORTS = ("EvalConfig", "EvalReport", "EvalResult", "evaluate_model",
+                 "run_eval")
+__all__ = [*_API_EXPORTS, *_SERVE_EXPORTS, *_STORE_EXPORTS, *_OBS_EXPORTS,
+           *_EVAL_EXPORTS]
+__version__ = "1.5.0"
 
 
 def __getattr__(name):
@@ -67,4 +71,8 @@ def __getattr__(name):
         import repro.obs as obs
 
         return getattr(obs, name)
+    if name in _EVAL_EXPORTS:
+        import repro.eval as eval_pkg
+
+        return getattr(eval_pkg, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

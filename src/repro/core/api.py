@@ -34,7 +34,9 @@ from repro.eval.reporting import (
     render_table3,
     render_table4,
 )
-from repro.eval.runner import EvalResult, evaluate_model
+from repro.eval.config import EvalConfig
+from repro.eval.report import EvalReport
+from repro.eval.runner import EvalResult, run_eval
 from repro.model.assertsolver import AssertSolver
 from repro.sim.compiled import SIM_MODES
 from repro.store import StoreConfig
@@ -177,6 +179,15 @@ class PipelineConfig:
         return ExecutionEngine(n_workers=self.n_workers,
                                backend=self.backend)
 
+    def eval_config(self, **overrides) -> EvalConfig:
+        """The :class:`repro.eval.EvalConfig` this pipeline evaluates
+        under; keyword overrides win.  The eval seed is offset from the
+        pipeline seed so sampling during evaluation never replays the
+        datagen/training streams."""
+        settings = dict(n_samples=self.n_samples, seed=self.seed + 1)
+        settings.update(overrides)
+        return EvalConfig(**settings)
+
     def serve(self, **overrides) -> "ServeConfig":
         """A :class:`repro.serve.ServeConfig` inheriting this config's
         execution knobs (workers, backend, caching, seed); keyword
@@ -246,6 +257,7 @@ class AssertSolverPipeline:
         self.assertsolver: Optional[AssertSolver] = None
         self.benchmark: Optional[SvaEvalBenchmark] = None
         self.results: Dict[str, EvalResult] = {}
+        self.reports: Dict[str, EvalReport] = {}
 
     # -- stages --------------------------------------------------------------
 
@@ -295,13 +307,15 @@ class AssertSolverPipeline:
         if self.results:
             return self.results
         benchmark = self.build_benchmark()
+        eval_config = self.config.eval_config()
+        store = (self.config.store.make_store()
+                 if self.config.store is not None else None)
         with self.config.make_engine() as engine:
             for model in self.models():
-                result = evaluate_model(model, benchmark.cases,
-                                        n=self.config.n_samples,
-                                        seed=self.config.seed + 1,
-                                        engine=engine)
-                self.results[result.model_name] = result
+                report = run_eval(model, benchmark.cases, config=eval_config,
+                                  engine=engine, store=store)
+                self.reports[report.result.model_name] = report
+                self.results[report.result.model_name] = report.result
         return self.results
 
     # -- reporting -------------------------------------------------------------

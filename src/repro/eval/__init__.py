@@ -8,17 +8,33 @@ __all__ = [
     "aggregate_pass_at_k",
     "SvaEvalBenchmark",
     "build_benchmark",
+    "EvalConfig",
+    "EvalReport",
     "EvalResult",
+    "case_digest",
+    "cases_from_json",
+    "cases_to_json",
     "evaluate_model",
+    "eval_memo_key",
     "is_correct",
+    "model_digest",
+    "run_eval",
 ]
 
 _LAZY = {
     "SvaEvalBenchmark": "repro.eval.benchmark",
     "build_benchmark": "repro.eval.benchmark",
+    "EvalConfig": "repro.eval.config",
+    "EvalReport": "repro.eval.report",
     "EvalResult": "repro.eval.runner",
+    "case_digest": "repro.eval.cases",
+    "cases_from_json": "repro.eval.cases",
+    "cases_to_json": "repro.eval.cases",
     "evaluate_model": "repro.eval.runner",
+    "eval_memo_key": "repro.eval.runner",
     "is_correct": "repro.eval.runner",
+    "model_digest": "repro.eval.runner",
+    "run_eval": "repro.eval.runner",
 }
 
 

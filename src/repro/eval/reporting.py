@@ -27,8 +27,8 @@ PAPER_TABLE4 = {
 }
 
 
-def _pct(value: float) -> str:
-    if value != value:  # NaN
+def _pct(value) -> str:
+    if value is None or value != value:  # empty split (None) or NaN
         return "   n/a"
     return f"{100 * value:6.2f}"
 

@@ -1,22 +1,31 @@
 """Model evaluation over SVA-Eval.
 
-``evaluate_model`` runs any model (AssertSolver checkpoints or baseline
-surrogates) over a case list with n samples per case and produces an
-:class:`EvalResult` holding everything the paper's tables and figures
-need: per-case correct counts, aggregate pass@k, per-origin splits,
-per-bucket splits and the c-histogram.
+``run_eval`` runs any model (AssertSolver checkpoints or baseline
+surrogates) over a case list under an :class:`EvalConfig` and produces
+an :class:`EvalReport` holding everything the paper's tables and figures
+need: per-case correct counts, aggregate pass@k for the config's
+k-vector, per-origin splits, per-bucket splits and the c-histogram.
+``evaluate_model`` survives as a thin deprecated shim over it, returning
+the legacy :class:`EvalResult`.
 
 Correctness follows the paper: the answer's buggy line must match the
 golden buggy line and the suggested fix must match the golden fixed line
-(whitespace-normalised).  ``semantic_check`` optionally re-verifies a
-repair by patching the design and re-running the bounded checker — an
-extension the paper does not do (it compares text), available for the
-ablation benches.
+(whitespace-normalised).  ``EvalConfig.semantic_check`` additionally
+accepts a textually-wrong repair when patching it into the design passes
+the bounded checker — an extension the paper does not do (it compares
+text), available for the ablation benches.
 
 Each case samples from an RNG derived per ``(seed, "eval", case_id)``
-instead of one stream threaded across cases, so ``evaluate_model`` can
-fan case chunks out over an :class:`repro.engine.ExecutionEngine` and
-still return exactly the serial outcomes.
+instead of one stream threaded across cases, so ``run_eval`` can fan
+case chunks out over an :class:`repro.engine.ExecutionEngine` and still
+return exactly the serial outcomes.
+
+With a ``store``, per-case outcomes are memoized in the ``eval/v1``
+namespace on ``(case_digest, model_digest, n, seed,
+config.semantic_digest())`` — the eval twin of the datagen pipeline's
+whole-stage memoization.  Outcomes are pure functions of that key, so a
+warm re-run against a populated :class:`DiskStore` recomputes only
+new/changed cases and reproduces the cold report byte for byte.
 """
 
 from __future__ import annotations
@@ -24,13 +33,18 @@ from __future__ import annotations
 import hashlib
 import pickle
 import random
+import warnings
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datagen.records import SvaEvalCase
 from repro.engine import ExecutionEngine, derive_rng
+from repro.eval.cases import case_digest
+from repro.eval.config import EvalConfig
 from repro.eval.passk import aggregate_pass_at_k
+from repro.eval.report import EvalReport
 from repro.model.assertsolver import Problem, SolverResponse
+from repro.store.base import NS_EVAL, content_key
 
 
 def _normalize(text: str) -> str:
@@ -90,10 +104,12 @@ class EvalResult:
         outcomes = self.outcomes if subset is None else list(subset)
         return aggregate_pass_at_k(((o.n, o.c) for o in outcomes), k)
 
-    def pass_at_origin(self, k: int, origin: str) -> float:
+    def pass_at_origin(self, k: int, origin: str) -> Optional[float]:
+        """``None`` when no case has ``origin`` — an empty split is "no
+        data", which must never be mistakable for "all failed" (0.0)."""
         subset = [o for o in self.outcomes if o.case.origin == origin]
         if not subset:
-            return 0.0
+            return None
         return self.pass_at(k, subset)
 
     def histogram(self) -> Dict[int, int]:
@@ -126,9 +142,15 @@ def _case_rng(seed: int, case: SvaEvalCase) -> random.Random:
     return derive_rng(seed, "eval", case.case_id)
 
 
-def _score_case(model, case: SvaEvalCase, n: int, seed: int) -> Tuple[int, int]:
+def _score_case(model, case: SvaEvalCase, n: int, seed: int,
+                check: bool = False) -> Tuple[int, int]:
     responses = generate_for_case(model, case, n, _case_rng(seed, case))
-    c = sum(1 for response in responses if is_correct(response, case))
+    c = 0
+    for response in responses:
+        if is_correct(response, case):
+            c += 1
+        elif check and semantic_check(response, case):
+            c += 1
     return len(responses), c
 
 
@@ -173,22 +195,37 @@ def _resolve_model(model, digest: Optional[str]):
 
 def _eval_chunk(payload) -> List[Tuple[int, int]]:
     """Worker task: score a contiguous chunk of cases with one model copy."""
-    model, digest, chunk, n, seed = payload
+    model, digest, chunk, n, seed, check = payload
     model = _resolve_model(model, digest)
-    return [_score_case(model, case, n, seed) for case in chunk]
+    return [_score_case(model, case, n, seed, check) for case in chunk]
 
 
-def evaluate_model(model, cases: Iterable[SvaEvalCase], n: int = 20,
-                   seed: int = 123,
-                   engine: Optional[ExecutionEngine] = None) -> EvalResult:
-    """Run ``model`` over ``cases`` with ``n`` samples each (paper: 20).
+def model_digest(model) -> str:
+    """The model's content fingerprint — half of the per-case memo key.
 
-    With a parallel ``engine``, cases are scored in chunks across the
-    worker pool; per-case derived RNGs keep the outcomes byte-identical
-    to the serial path.
-    """
-    cases = list(cases)
-    scores: List[Tuple[int, int]]
+    The pickle-blob digest :func:`_model_payload` already uses as a
+    transfer checksum: any weight, profile, or seed change reads as a
+    different model, invalidating exactly its own stored outcomes."""
+    return _model_payload(model)[1]
+
+
+def eval_memo_key(case_dig: str, model_dig: str, config: EvalConfig,
+                  config_digest: Optional[str] = None) -> str:
+    """The ``eval/v1`` store key: ``(case, model, n, seed, config)``.
+
+    The eval twin of :func:`repro.store.unit_memo_key`; pass
+    ``config_digest`` to amortize :meth:`EvalConfig.semantic_digest`
+    over a case list."""
+    return content_key("eval-memo", case_dig, model_dig,
+                       str(config.n_samples), repr(config.seed),
+                       config_digest or config.semantic_digest())
+
+
+def _score_cases(model, cases: List[SvaEvalCase], config: EvalConfig,
+                 engine: Optional[ExecutionEngine]) -> List[Tuple[int, int]]:
+    """Score ``cases`` serially or chunked over ``engine``; per-case
+    derived RNGs keep the outcomes byte-identical either way."""
+    n, seed, check = config.n_samples, config.seed, config.semantic_check
     if engine is not None and engine.parallel and len(cases) > 1:
         chunk_size = max(1, (len(cases) + engine.n_workers * 4 - 1)
                          // (engine.n_workers * 4))
@@ -199,7 +236,8 @@ def evaluate_model(model, cases: Iterable[SvaEvalCase], n: int = 20,
             transport, digest = _model_payload(model)
         else:
             transport, digest = model, None
-        payloads = [(transport, digest, cases[i:i + chunk_size], n, seed)
+        payloads = [(transport, digest, cases[i:i + chunk_size],
+                     n, seed, check)
                     for i in range(0, len(cases), chunk_size)]
         # engine.map preserves input order, so the contiguous chunks
         # flatten straight back into case order.
@@ -210,11 +248,78 @@ def evaluate_model(model, cases: Iterable[SvaEvalCase], n: int = 20,
             _, digest_after = _model_payload(model)
             if digest_after != digest:
                 raise RuntimeError(
-                    "model fingerprint changed across evaluate_model: "
+                    "model fingerprint changed across the evaluation: "
                     "evaluation must not mutate the model")
-    else:
-        scores = [_score_case(model, case, n, seed) for case in cases]
+        return scores
+    return [_score_case(model, case, n, seed, check) for case in cases]
+
+
+def run_eval(model, cases: Iterable[SvaEvalCase],
+             config: Optional[EvalConfig] = None,
+             engine: Optional[ExecutionEngine] = None,
+             store=None) -> EvalReport:
+    """Evaluate ``model`` over ``cases`` under ``config``.
+
+    With a ``store`` (any :class:`repro.store.ArtifactStore`), per-case
+    ``(n, c)`` outcomes are memoized on ``(case_digest, model_digest,
+    n, seed, config.semantic_digest())`` in the ``eval/v1`` namespace:
+    only cases with no stored outcome are computed (chunked over
+    ``engine`` when one is given), and fresh outcomes are written back.
+    The returned :class:`EvalReport` is byte-deterministic — cold and
+    warm runs serialize identically; ``report.stats`` carries the
+    volatile memo counters (``cases`` / ``memo_hits`` / ``computed``)
+    outside the canonical payload.
+    """
+    config = config or EvalConfig()
+    config.validate()
+    cases = list(cases)
+    scores: List[Optional[Tuple[int, int]]] = [None] * len(cases)
+    keys: List[Optional[str]] = [None] * len(cases)
+    digest = ""
+    hits = 0
+    if store is not None:
+        digest = model_digest(model)
+        config_digest = config.semantic_digest()
+        for i, case in enumerate(cases):
+            keys[i] = eval_memo_key(case_digest(case), digest, config,
+                                    config_digest)
+            stored = store.get(NS_EVAL, keys[i])
+            # Shape-check replayed artifacts: a corrupted or foreign
+            # entry counts as a miss, never a crash (store contract).
+            if isinstance(stored, tuple) and len(stored) == 2 \
+                    and all(isinstance(v, int) for v in stored):
+                scores[i] = stored
+                hits += 1
+    miss_idx = [i for i in range(len(cases)) if scores[i] is None]
+    computed = _score_cases(model, [cases[i] for i in miss_idx],
+                            config, engine)
+    for i, score in zip(miss_idx, computed):
+        scores[i] = tuple(score)
+        if store is not None:
+            store.put(NS_EVAL, keys[i], tuple(score))
     outcomes = [CaseOutcome(case, total, c)
                 for case, (total, c) in zip(cases, scores)]
     name = getattr(model, "name", type(model).__name__)
-    return EvalResult(name, outcomes, n)
+    result = EvalResult(name, outcomes, config.n_samples)
+    report = EvalReport.from_result(result, config)
+    report.model_digest = digest
+    report.stats = {"cases": len(cases), "memo_hits": hits,
+                    "computed": len(miss_idx)}
+    return report
+
+
+def evaluate_model(model, cases: Iterable[SvaEvalCase], n: int = 20,
+                   seed: int = 123,
+                   engine: Optional[ExecutionEngine] = None) -> EvalResult:
+    """Deprecated shim over :func:`run_eval` (paper defaults: n=20).
+
+    The loose positional knobs became :class:`EvalConfig`; this keeps
+    the old signature and :class:`EvalResult` return working while
+    callers migrate."""
+    warnings.warn(
+        "evaluate_model() is deprecated; use "
+        "run_eval(model, cases, EvalConfig(n_samples=..., seed=...))",
+        DeprecationWarning, stacklevel=2)
+    report = run_eval(model, cases,
+                      EvalConfig(n_samples=n, seed=seed), engine=engine)
+    return report.result

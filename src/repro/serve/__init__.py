@@ -16,14 +16,17 @@ concurrent traffic:
   streams and a latency/throughput harness (p50/p95/p99, req/s)
   feeding ``benchmarks/bench_serve.py`` and ``benchmarks/bench_http.py``;
 - :mod:`repro.serve.http` — :class:`AssertHttpServer`: the stdlib
-  JSON-over-HTTP transport (``POST /v1/solve``, ``GET /healthz`` /
-  ``/statsz`` / ``/metricsz`` / ``/tracez``,
+  JSON-over-HTTP transport (``POST /v1/solve``, ``POST /v1/eval``,
+  ``GET /healthz`` / ``/statsz`` / ``/metricsz`` / ``/tracez``,
   ``DELETE /v1/solve/{request_id}``, graceful drain), carrying
   request traces across the wire via ``X-Repro-Trace-Id`` (see
   :mod:`repro.obs`);
+- :mod:`repro.serve.codecs` — the one module owning every wire body:
+  solve and eval request/response codecs plus the structured error
+  envelope all three surfaces (server, client, router) share;
 - :mod:`repro.serve.client` — :class:`AssertClient` /
   :class:`SolveHandle`: the wire twin of the in-process API, with
-  client-initiated cancellation;
+  client-initiated cancellation and ``eval()`` for pass@k runs;
 - :mod:`repro.serve.router` — :class:`FleetRouter`: consistent-hash
   routing over N :class:`AssertHttpServer` backends on the same wire
   protocol (cache-affine key routing, health ejection/re-admission,
@@ -32,14 +35,22 @@ concurrent traffic:
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.cache import ResultCache, content_key
-from repro.serve.client import AssertClient, ClientError, SolveHandle
-from repro.serve.http import (
-    AssertHttpServer,
-    HttpConfig,
+from repro.serve.client import (
+    AssertClient,
+    ClientError,
+    EvalFailed,
+    SolveHandle,
+)
+from repro.serve.codecs import (
+    error_body,
+    eval_request_from_json,
+    eval_request_to_json,
+    eval_response_wire,
     request_from_json,
     request_to_json,
     response_from_json,
 )
+from repro.serve.http import AssertHttpServer, HttpConfig
 from repro.serve.loadgen import (
     LoadReport,
     WorkloadSpec,
@@ -49,6 +60,8 @@ from repro.serve.loadgen import (
 from repro.serve.router import FleetRouter, HashRing, RouterConfig
 from repro.serve.service import (
     AssertService,
+    EvalRequest,
+    EvalResponse,
     ScoredProposal,
     ServeConfig,
     ServiceClosed,
@@ -66,6 +79,9 @@ __all__ = [
     "AssertService",
     "BatcherStats",
     "ClientError",
+    "EvalFailed",
+    "EvalRequest",
+    "EvalResponse",
     "FleetRouter",
     "HashRing",
     "HttpConfig",
@@ -85,6 +101,10 @@ __all__ = [
     "WorkloadSpec",
     "build_workload",
     "content_key",
+    "error_body",
+    "eval_request_from_json",
+    "eval_request_to_json",
+    "eval_response_wire",
     "request_from_json",
     "request_to_json",
     "response_from_json",

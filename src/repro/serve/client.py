@@ -21,15 +21,22 @@ from dataclasses import replace
 from typing import Dict, Optional, Tuple, Union
 from urllib.parse import quote
 
-from repro.serve.http import request_to_json, response_from_json
+from repro.serve.codecs import (
+    error_detail,
+    eval_report_from_json,
+    eval_request_to_json,
+    request_to_json,
+    response_from_json,
+)
 from repro.serve.service import (
+    EvalRequest,
     ServiceClosed,
     ServiceOverloaded,
     SolveRequest,
     SolveResponse,
 )
 
-__all__ = ["AssertClient", "ClientError", "SolveHandle"]
+__all__ = ["AssertClient", "ClientError", "EvalFailed", "SolveHandle"]
 
 
 def _query_suffix(**params: Optional[int]) -> str:
@@ -45,6 +52,20 @@ class ClientError(RuntimeError):
         super().__init__(f"HTTP {status}: {body}")
         self.status = status
         self.body = body
+
+
+class EvalFailed(RuntimeError):
+    """A ``POST /v1/eval`` that resolved to a non-``ok`` service status.
+
+    ``status`` carries the service-level tag off the error envelope
+    (``unknown_model`` / ``timeout`` / ``cancelled``), ``code`` the HTTP
+    status, ``detail`` the human text."""
+
+    def __init__(self, code: int, detail: str, status: str):
+        super().__init__(f"eval {status} (HTTP {code}): {detail}")
+        self.code = code
+        self.detail = detail
+        self.status = status
 
 
 class SolveHandle:
@@ -151,6 +172,34 @@ class AssertClient:
             timeout=timeout)
         if status in (200, 422, 504, 409):
             return response_from_json(data.decode("utf-8"))
+        if status == 429:
+            exc = ServiceOverloaded(data.decode("utf-8", "replace"))
+            exc.retry_after_s = float(headers.get("retry-after", 1.0))
+            raise exc
+        if status in (400, 413):
+            raise ValueError(f"request refused ({status}): "
+                             f"{data.decode('utf-8', 'replace')}")
+        if status == 503:
+            raise ServiceClosed(data.decode("utf-8", "replace"))
+        raise ClientError(status, data.decode("utf-8", "replace"))
+
+    def eval(self, request: EvalRequest,
+             timeout: Optional[float] = None):
+        """One blocking ``POST /v1/eval`` round trip.
+
+        A 200 parses into an :class:`repro.eval.EvalReport` whose
+        ``to_json()`` reproduces the wire body byte for byte.  Service
+        failures (404 unknown model, 504 timeout, 409 cancelled) raise
+        :class:`EvalFailed` with the envelope's status tag; transport
+        refusals map exactly as :meth:`solve`'s do."""
+        status, headers, data = self._request(
+            "POST", "/v1/eval", eval_request_to_json(request).encode("utf-8"),
+            timeout=timeout)
+        if status == 200:
+            return eval_report_from_json(data)
+        if status in (404, 504, 409):
+            detail, service_status = error_detail(data)
+            raise EvalFailed(status, detail, service_status)
         if status == 429:
             exc = ServiceOverloaded(data.decode("utf-8", "replace"))
             exc.retry_after_s = float(headers.get("retry-after", 1.0))

@@ -24,6 +24,18 @@ reproduction runs as an actual service without growing a dependency:
   draining/closed   503   shutdown in progress
   ================  ====  =========================================
 
+- ``POST /v1/eval`` — body :func:`eval_request_from_json`; runs a
+  *registered* model (:meth:`AssertService.register_model`) over the
+  submitted cases through the service's engine and store.  A 200 body is
+  **exactly** ``EvalReport.to_json()`` (byte-identical to an in-process
+  ``run_eval``); failures ride the shared error envelope with
+  ``unknown_model`` -> 404, ``timeout`` -> 504, ``cancelled`` -> 409.
+  Same queue, deadline, cancellation, and backpressure lifecycle as
+  ``/v1/solve``.
+- Every non-payload response (transport refusals included, and the
+  fleet router's self-synthesized bodies) uses one structured error
+  envelope: ``{"code": ..., "detail": ..., "status": ...}`` (see
+  :mod:`repro.serve.codecs`).
 - ``GET /healthz`` — liveness (``503`` + ``draining`` once shutdown
   starts); ``GET /statsz`` — :meth:`AssertService.statsz` (the full
   :class:`ServiceStats` snapshot incl. queue-depth/inflight gauges,
@@ -38,9 +50,9 @@ reproduction runs as an actual service without growing a dependency:
   ``trace_id/parent_span_id``): the server continues that trace, which
   is how a fleet-routed request stays one coherent trace across
   router and backend.
-- ``DELETE /v1/solve/{request_id}`` — client-initiated cancellation
-  (:meth:`AssertService.cancel`): queued requests are dropped, in-batch
-  ones abandoned (result cached, not delivered).
+- ``DELETE /v1/solve/{request_id}`` (alias ``/v1/eval/{request_id}``) —
+  client-initiated cancellation (:meth:`AssertService.cancel`): queued
+  requests are dropped, in-batch ones abandoned.
 - Graceful drain: :meth:`AssertHttpServer.close` stops accepting,
   resolves every accepted request via the service's own drain, then
   joins the handler threads — in-flight clients get real responses,
@@ -61,12 +73,23 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.serve.codecs import (
+    EVAL_STATUS_HTTP_CODES,
+    STATUS_HTTP_CODES,
+    error_body,
+    eval_request_from_json,
+    eval_request_to_json,
+    eval_response_wire,
+    request_from_json,
+    request_to_json,
+    response_from_json,
+)
 from repro.serve.service import (
     AssertService,
-    ScoredProposal,
+    EvalRequest,
+    EvalResponse,
     ServiceClosed,
     ServiceOverloaded,
-    SolveOptions,
     SolveRequest,
     SolveResponse,
 )
@@ -74,23 +97,15 @@ from repro.serve.service import (
 __all__ = [
     "AssertHttpServer",
     "HttpConfig",
+    "EVAL_STATUS_HTTP_CODES",
     "STATUS_HTTP_CODES",
+    "eval_request_from_json",
+    "eval_request_to_json",
+    "eval_response_wire",
     "request_from_json",
     "request_to_json",
     "response_from_json",
 ]
-
-#: SolveResponse.status -> HTTP status code (the transport's one table).
-STATUS_HTTP_CODES = {
-    "ok": 200,
-    "compile_error": 422,
-    "timeout": 504,
-    "cancelled": 409,
-}
-
-#: SolveOptions fields a request body may set (anything else is a 400).
-_OPTION_KEYS = ("hints", "mine_hints", "max_proposals", "hallucination_rate",
-                "bmc_depth", "bmc_random_trials", "deadline_ms")
 
 #: Prometheus content type for ``GET /metricsz``.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -101,7 +116,10 @@ def _handler_label(command: str, path: str) -> str:
     path = path.partition("?")[0]
     if path == "/v1/solve":
         return "solve"
-    if path.startswith("/v1/solve/") and command == "DELETE":
+    if path == "/v1/eval":
+        return "eval"
+    if command == "DELETE" and (path.startswith("/v1/solve/")
+                                or path.startswith("/v1/eval/")):
         return "cancel"
     if path in ("/healthz", "/statsz", "/metricsz", "/tracez", "/covz"):
         return path[1:]
@@ -130,88 +148,8 @@ def _query_int_params(query: str) -> Dict[str, int]:
     return params
 
 
-# -- wire codecs ---------------------------------------------------------------
-
-
-def request_to_json(request: SolveRequest) -> str:
-    """The ``POST /v1/solve`` body for ``request`` (all options explicit)."""
-    options = request.options
-    return json.dumps({
-        "design_source": request.design_source,
-        "request_id": request.request_id,
-        "options": {
-            "hints": [list(h) for h in options.hints],
-            "mine_hints": options.mine_hints,
-            "max_proposals": options.max_proposals,
-            "hallucination_rate": options.hallucination_rate,
-            "bmc_depth": options.bmc_depth,
-            "bmc_random_trials": options.bmc_random_trials,
-            "deadline_ms": options.deadline_ms,
-        },
-    }, sort_keys=True)
-
-
-def request_from_json(body: bytes) -> SolveRequest:
-    """Parse and validate a ``POST /v1/solve`` body.
-
-    Raises :class:`ValueError` (mapped to 400 by the handler) on
-    anything malformed: bad JSON, a non-object payload, a missing or
-    non-string ``design_source``, unknown option keys, or option values
-    :meth:`SolveOptions.validate` rejects."""
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ValueError(f"body is not valid JSON: {exc}") from None
-    if not isinstance(payload, dict):
-        raise ValueError(
-            f"body must be a JSON object, got {type(payload).__name__}")
-    unknown = set(payload) - {"design_source", "request_id", "options"}
-    if unknown:
-        raise ValueError(f"unknown request fields: {sorted(unknown)}")
-    source = payload.get("design_source")
-    if not isinstance(source, str) or not source:
-        raise ValueError("design_source must be a non-empty string")
-    request_id = payload.get("request_id", "")
-    if not isinstance(request_id, str):
-        raise ValueError(f"request_id must be a string, got {request_id!r}")
-
-    raw_options = payload.get("options", {})
-    if not isinstance(raw_options, dict):
-        raise ValueError(
-            f"options must be a JSON object, got {type(raw_options).__name__}")
-    unknown = set(raw_options) - set(_OPTION_KEYS)
-    if unknown:
-        raise ValueError(f"unknown option fields: {sorted(unknown)}")
-    fields = dict(raw_options)
-    if "hints" in fields:
-        hints = fields["hints"]
-        if not isinstance(hints, list):
-            raise ValueError("options.hints must be a list of 5-item lists")
-        fields["hints"] = tuple(
-            tuple(h) if isinstance(h, (list, tuple)) else h for h in hints)
-    options = SolveOptions(**fields)
-    options.validate()  # structured 400 here, never a stuck future later
-    return SolveRequest(source, options, request_id=request_id)
-
-
-def response_from_json(text: str) -> SolveResponse:
-    """Rebuild a :class:`SolveResponse` from a transported body.
-
-    Inverse of :meth:`SolveResponse.to_json`: re-serializing the result
-    reproduces the input byte for byte, which is what lets clients (and
-    tests) verify the transport never forked determinism."""
-    data = json.loads(text)
-    proposals = tuple(
-        ScoredProposal(p["name"], p["property"], p["assertion"],
-                       p["score"], p["origin"])
-        for p in data["proposals"])
-    return SolveResponse(data["status"], data["request_key"],
-                         proposals=proposals, rejected=data["rejected"],
-                         error=data["error"],
-                         coverage=data.get("coverage"))
-
-
 # -- server --------------------------------------------------------------------
+# (the wire codecs live in repro.serve.codecs, shared with client + router)
 
 
 @dataclass
@@ -318,13 +256,19 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_body(code, body, headers)
 
     def _send_error_json(self, code: int, message: str,
-                         headers: Optional[Dict[str, str]] = None) -> None:
-        self._send_json(code, {"error": message}, headers)
+                         headers: Optional[Dict[str, str]] = None,
+                         status: str = "error") -> None:
+        self._send_body(code, error_body(code, message, status=status),
+                        headers)
 
     # -- routes --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/v1/solve":
+        if self.path == "/v1/solve":
+            parse, serve = request_from_json, self._solve
+        elif self.path == "/v1/eval":
+            parse, serve = eval_request_from_json, self._eval
+        else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
             return
         ctx = self.ctx
@@ -351,11 +295,11 @@ class _Handler(BaseHTTPRequestHandler):
         body = self.rfile.read(length)
 
         try:
-            request = request_from_json(body)
+            request = parse(body)
         except ValueError as exc:
             self._send_error_json(400, str(exc))
             return
-        # One server span per solve request.  An incoming
+        # One server span per request.  An incoming
         # X-Repro-Trace-Id (injected by the fleet router, or set by a
         # client correlating its own retries) continues that trace; an
         # absent or malformed header derives the same deterministic id
@@ -367,38 +311,17 @@ class _Handler(BaseHTTPRequestHandler):
             request.cache_key(), request.request_id)
         with obs_trace.span("http.server", parent=incoming_parent,
                             trace_id=trace_id, root=True) as server_span:
-            self._solve(ctx, request, server_span)
+            serve(ctx, request, server_span)
 
     def _solve(self, ctx: "AssertHttpServer", request: SolveRequest,
                server_span) -> None:
-        try:
-            future = ctx.service.submit(request)
-        except ServiceOverloaded as exc:
-            retry_after = max(1, round(ctx.config.retry_after_s))
-            self._send_error_json(429, str(exc),
-                                  headers={"Retry-After": str(retry_after)})
-            return
-        except ServiceClosed:
-            self.close_connection = True
-            self._send_error_json(503, "service is closed")
-            return
-        except ValueError as exc:  # submit re-validates; belt and braces
-            self._send_error_json(400, str(exc))
-            return
-
-        try:
-            response = self._await(ctx, future, request)
-        except _DrainAbandoned:
-            self.close_connection = True
-            self._send_error_json(503, "server drained before the request "
-                                       "was served")
-            return
-        except ServiceClosed:
-            self.close_connection = True
-            self._send_error_json(503, "service closed mid-request")
-            return
-        except Exception as exc:  # noqa: BLE001 - surface, don't hang
-            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        response = self._serve_request(
+            ctx, request, ctx.service.submit,
+            lambda: SolveResponse(
+                "timeout", request.cache_key(),
+                error=f"server wait budget of "
+                      f"{ctx.config.default_timeout_s}s exceeded"))
+        if response is None:
             return
         code = STATUS_HTTP_CODES.get(response.status, 500)
         if server_span is not None:
@@ -408,8 +331,59 @@ class _Handler(BaseHTTPRequestHandler):
         # in-process serialization for the same request content hash.
         self._send_body(code, response.to_json().encode("utf-8"))
 
-    def _await(self, ctx: "AssertHttpServer", future,
-               request: SolveRequest) -> SolveResponse:
+    def _eval(self, ctx: "AssertHttpServer", request: EvalRequest,
+              server_span) -> None:
+        response = self._serve_request(
+            ctx, request, ctx.service.submit_eval,
+            lambda: EvalResponse(
+                "timeout", request.cache_key(),
+                error=f"server wait budget of "
+                      f"{ctx.config.default_timeout_s}s exceeded"))
+        if response is None:
+            return
+        code, body = eval_response_wire(response)
+        if server_span is not None:
+            server_span.attrs["status"] = response.status
+            server_span.attrs["code"] = code
+        # A 200 body IS EvalReport.to_json(): byte-identical to the
+        # in-process serialization for the same request content hash.
+        self._send_body(code, body)
+
+    def _serve_request(self, ctx: "AssertHttpServer", request, submit,
+                       timeout_response):
+        """Shared submit-and-await: returns the service response, or
+        ``None`` after sending a transport refusal itself."""
+        try:
+            future = submit(request)
+        except ServiceOverloaded as exc:
+            retry_after = max(1, round(ctx.config.retry_after_s))
+            self._send_error_json(429, str(exc),
+                                  headers={"Retry-After": str(retry_after)})
+            return None
+        except ServiceClosed:
+            self.close_connection = True
+            self._send_error_json(503, "service is closed")
+            return None
+        except ValueError as exc:  # submit re-validates; belt and braces
+            self._send_error_json(400, str(exc))
+            return None
+
+        try:
+            return self._await(ctx, future, timeout_response)
+        except _DrainAbandoned:
+            self.close_connection = True
+            self._send_error_json(503, "server drained before the request "
+                                       "was served")
+            return None
+        except ServiceClosed:
+            self.close_connection = True
+            self._send_error_json(503, "service closed mid-request")
+            return None
+        except Exception as exc:  # noqa: BLE001 - surface, don't hang
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return None
+
+    def _await(self, ctx: "AssertHttpServer", future, timeout_response):
         """Wait for the future in slices, so a drain can reclaim
         handlers whose futures nobody will ever resolve (an
         externally-owned, never-started service) instead of hanging
@@ -422,10 +396,7 @@ class _Handler(BaseHTTPRequestHandler):
                 # deadline_ms (the deadline timer resolves those to
                 # status="timeout" well before this).  The future stays
                 # live: a late result is still cached for repeats.
-                return SolveResponse(
-                    "timeout", request.cache_key(),
-                    error=f"server wait budget of "
-                          f"{ctx.config.default_timeout_s}s exceeded")
+                return timeout_response()
             try:
                 return future.result(timeout=min(0.25, remaining))
             except FutureTimeoutError:
@@ -463,8 +434,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no such endpoint: {self.path}")
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
-        prefix = "/v1/solve/"
-        if not self.path.startswith(prefix):
+        # Cancellation is kind-agnostic service-side (one request_id
+        # registry), so both prefixes route to the same cancel.
+        for prefix in ("/v1/solve/", "/v1/eval/"):
+            if self.path.startswith(prefix):
+                break
+        else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
             return
         request_id = unquote(self.path[len(prefix):])

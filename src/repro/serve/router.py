@@ -54,13 +54,13 @@ from urllib.parse import unquote, urlsplit
 from repro import cov
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.serve.codecs import eval_request_from_json, request_from_json
 from repro.serve.http import (
     PROMETHEUS_CONTENT_TYPE,
     AssertHttpServer,
     _Handler,
     _query_int_params,
     _ThreadedHTTPServer,
-    request_from_json,
 )
 from repro.serve.service import ServiceClosed
 
@@ -258,7 +258,11 @@ class _RouterHandler(_Handler):
         return self.server.ctx
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/v1/solve":
+        if self.path == "/v1/solve":
+            parse = request_from_json
+        elif self.path == "/v1/eval":
+            parse = eval_request_from_json
+        else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
             return
         ctx = self.ctx
@@ -284,9 +288,11 @@ class _RouterHandler(_Handler):
 
         # Validate locally with the backend's own parser: malformed
         # bodies get the identical 400 a lone instance would send, and
-        # well-formed ones yield the content key the ring routes on.
+        # well-formed ones yield the content key the ring routes on —
+        # eval repeats therefore land on the backend whose store memo
+        # already holds their per-case outcomes.
         try:
-            request = request_from_json(body)
+            request = parse(body)
         except ValueError as exc:
             self._send_error_json(400, str(exc))
             return
@@ -300,7 +306,7 @@ class _RouterHandler(_Handler):
             request.cache_key(), request.request_id)
         with obs_trace.span("fleet.route", parent=incoming_parent,
                             trace_id=trace_id, root=True) as route_span:
-            routed = ctx.route_solve(request.cache_key(), body)
+            routed = ctx.route_post(self.path, request.cache_key(), body)
             if routed is None:
                 self.close_connection = True
                 self._send_error_json(503, "no healthy backends")
@@ -349,8 +355,10 @@ class _RouterHandler(_Handler):
             self._send_error_json(404, f"no such endpoint: {self.path}")
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
-        prefix = "/v1/solve/"
-        if not self.path.startswith(prefix):
+        for prefix in ("/v1/solve/", "/v1/eval/"):
+            if self.path.startswith(prefix):
+                break
+        else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
             return
         request_id = unquote(self.path[len(prefix):])
@@ -647,14 +655,23 @@ class FleetRouter:
 
     def route_solve(self, key: str, body: bytes
                     ) -> Optional[Tuple[int, Dict[str, str], bytes]]:
-        """Forward one solve body along ``key``'s ring order.
+        """Back-compat alias: route one solve body (see :meth:`route_post`)."""
+        return self.route_post("/v1/solve", key, body)
 
-        Healthy candidates are tried in ring order: the owner first (its
-        cache has the repeats), then spillover on 429 and failover on
-        connection errors — both sound because responses are pure
-        functions of the content key.  Returns the first non-429 backend
-        answer, the last 429 if every backend is saturated, or ``None``
-        when no healthy backend answered at all (mapped to 503)."""
+    def route_post(self, path: str, key: str, body: bytes
+                   ) -> Optional[Tuple[int, Dict[str, str], bytes]]:
+        """Forward one POST body along ``key``'s ring order.
+
+        Works for both wire kinds (``/v1/solve`` and ``/v1/eval``) —
+        the ring hashes the request's content key either way, so solve
+        repeats find their owner's ``ResultCache`` and eval repeats find
+        their owner's per-case store memo.  Healthy candidates are tried
+        in ring order: the owner first, then spillover on 429 and
+        failover on connection errors — both sound because responses are
+        pure functions of the content key.  Returns the first non-429
+        backend answer, the last 429 if every backend is saturated, or
+        ``None`` when no healthy backend answered at all (mapped to
+        503)."""
         last_overloaded: Optional[Tuple[int, Dict[str, str], bytes]] = None
         for node in self.candidates_for(key):
             slot = self._by_node[node]
@@ -665,7 +682,7 @@ class FleetRouter:
                 with obs_trace.span("fleet.forward",
                                     attrs={"node": slot.node}):
                     status, headers, data = self._forward(
-                        slot, "POST", "/v1/solve", body,
+                        slot, "POST", path, body,
                         self.config.forward_timeout_s)
             except (OSError, http.client.HTTPException) as exc:
                 # Dead or wedged: eject now (the probe re-admits after

@@ -48,6 +48,8 @@ from repro.engine import BACKENDS, ExecutionEngine, derive_rng
 from repro.engine import metrics
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.eval.cases import cases_to_json
+from repro.eval.config import EvalConfig
 from repro.serve.batcher import MicroBatcher
 from repro.sim.compiled import SIM_MODES
 from repro.serve.cache import ResultCache, content_key
@@ -267,6 +269,76 @@ class SolveResponse:
             return f"SolveResponse({self.status})"
         return (f"SolveResponse(ok, {len(self.proposals)} proposals, "
                 f"{self.rejected} rejected)")
+
+
+class EvalRequest:
+    """One evaluation job: a registered model name over submitted cases.
+
+    The eval twin of :class:`SolveRequest` — same lifecycle (bounded
+    queue, deadline timer, cancellation by ``request_id``), different
+    payload.  ``model`` names a model previously installed with
+    :meth:`AssertService.register_model`; the cases travel with the
+    request, so any backend holding the model can serve it.
+
+    Content-addressed like solves: :meth:`cache_key` hashes the model
+    name, the canonical case rendering, and ``EvalConfig.canonical()``
+    (which excludes ``deadline_ms``), so the fleet router sends repeats
+    of one evaluation to the same backend — where the per-case memo in
+    the artifact store makes the repeat cheap.
+    """
+
+    __slots__ = ("model", "cases", "config", "request_id", "_cases_json")
+
+    def __init__(self, model: str, cases,
+                 config: Optional[EvalConfig] = None, request_id: str = ""):
+        if not isinstance(model, str) or not model:
+            raise ValueError(
+                "model must be a non-empty registered model name")
+        self.model = model
+        self.cases = list(cases)
+        if not self.cases:
+            raise ValueError("cases must be a non-empty list")
+        self.config = config or EvalConfig()
+        self.request_id = request_id
+        self._cases_json: Optional[str] = None
+
+    def cases_json(self) -> str:
+        """Canonical case rendering (computed once, reused by the key)."""
+        if self._cases_json is None:
+            self._cases_json = cases_to_json(self.cases)
+        return self._cases_json
+
+    def cache_key(self) -> str:
+        return content_key("eval", self.model, self.cases_json(),
+                           self.config.canonical())
+
+
+class EvalResponse:
+    """The resolution of one :class:`EvalRequest`.
+
+    ``status`` is ``"ok"`` (``report`` carries the
+    :class:`repro.eval.EvalReport`), ``"unknown_model"`` (no registered
+    model under that name), ``"timeout"``, or ``"cancelled"`` — the last
+    two with the same semantics as their solve twins.
+    """
+
+    __slots__ = ("status", "request_key", "report", "error")
+
+    def __init__(self, status: str, request_key: str, report=None,
+                 error: str = ""):
+        self.status = status
+        self.request_key = request_key
+        self.report = report
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self.ok:
+            return f"EvalResponse({self.status})"
+        return f"EvalResponse(ok, {self.report!r})"
 
 
 # -- the per-request work unit (module-level: picklable for process pools) ----
@@ -500,6 +572,9 @@ class ServiceStats:
     compile_errors: int = 0
     timeouts: int = 0
     cancelled: int = 0
+    evals: int = 0
+    eval_cases: int = 0
+    eval_memo_hits: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_store_hits: int = 0
@@ -683,6 +758,10 @@ class AssertService:
         self._compile_errors = 0
         self._timeouts = 0
         self._cancelled = 0
+        self._evals = 0
+        self._eval_cases = 0
+        self._eval_memo_hits = 0
+        self._models: Dict[str, Tuple[object, str]] = {}
         self._previous_compile_cache: Optional[tuple] = None
         self.metrics = obs_metrics.MetricsRegistry()
         self._request_seconds = self.metrics.histogram(
@@ -705,7 +784,7 @@ class AssertService:
 
         for name in ("submitted", "completed", "rejected", "errors",
                      "solved", "deduped", "compile_errors", "timeouts",
-                     "cancelled"):
+                     "cancelled", "evals"):
             self.metrics.counter_callback(
                 f"repro_service_{name}_total",
                 f"Cumulative {name} requests.", reader(f"_{name}"))
@@ -810,15 +889,54 @@ class AssertService:
         request.options.validate()
         return request
 
+    def register_model(self, name: str, model) -> str:
+        """Install ``model`` under ``name`` for ``POST /v1/eval`` traffic.
+
+        Returns the model's content digest (the memo-key half), so
+        operators can verify every fleet backend registered the same
+        weights under the same name.  Re-registering a name replaces the
+        model."""
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"model name must be a non-empty string, "
+                             f"got {name!r}")
+        from repro.eval.runner import model_digest
+
+        digest = model_digest(model)
+        with self._lock:
+            self._models[name] = (model, digest)
+        return digest
+
+    def model_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
     def submit(self, request: Union[SolveRequest, str]) -> "Future":
-        """Enqueue one request; the future resolves to a SolveResponse.
+        """Enqueue one solve; the future resolves to a SolveResponse.
 
         Raises :class:`ServiceOverloaded` when the bounded queue is full
         and :class:`ServiceClosed` after :meth:`close`.
         """
         request = self._coerce(request)
+        return self._submit_pending(request, request.options.deadline_ms)
+
+    def submit_eval(self, request: EvalRequest) -> "Future":
+        """Enqueue one evaluation; the future resolves to an EvalResponse.
+
+        Same lifecycle as :meth:`submit`: bounded queue (429-style
+        backpressure), deadline timer, cancellation by ``request_id``,
+        batch dedup by content key."""
+        if not isinstance(request, EvalRequest):
+            raise ValueError(
+                f"submit_eval takes an EvalRequest, "
+                f"got {type(request).__name__}")
+        request.config.validate()
+        return self._submit_pending(request, request.config.deadline_ms)
+
+    def _submit_pending(self, request: Union[SolveRequest, EvalRequest],
+                        deadline: Optional[float]) -> "Future":
+        """The shared accept path: solve and eval requests ride the same
+        queue, timer, and cancellation registry."""
         future: "Future" = Future()
-        deadline = request.options.deadline_ms
         expiry = (time.monotonic() + deadline / 1000.0
                   if deadline is not None else None)
         pending = _Pending(request, future, expiry)
@@ -877,7 +995,7 @@ class AssertService:
             pendings = list(self._by_id.get(request_id, ()))
         cancelled = 0
         for pending in pendings:
-            if self._finish(pending, self._cancelled_response(pending.key)):
+            if self._finish(pending, self._cancelled_response_for(pending)):
                 cancelled += 1
         return cancelled
 
@@ -956,17 +1074,25 @@ class AssertService:
 
     def _expire_pending(self, pending: _Pending) -> None:
         """Timer callback: the deadline lapsed before anything served it."""
-        self._finish(pending, self._timeout_response(pending.key))
+        self._finish(pending, self._timeout_response_for(pending))
 
     @staticmethod
-    def _timeout_response(key: str) -> SolveResponse:
-        return SolveResponse(
-            "timeout", key,
-            error="deadline_ms exceeded before the request was served")
+    def _timeout_response_for(
+            pending: _Pending) -> Union[SolveResponse, EvalResponse]:
+        """A kind-matched timeout: eval waiters get an EvalResponse."""
+        error = "deadline_ms exceeded before the request was served"
+        if isinstance(pending.request, EvalRequest):
+            return EvalResponse("timeout", pending.key, error=error)
+        return SolveResponse("timeout", pending.key, error=error)
 
     @staticmethod
-    def _cancelled_response(key: str) -> SolveResponse:
-        return SolveResponse("cancelled", key, error="cancelled by client")
+    def _cancelled_response_for(
+            pending: _Pending) -> Union[SolveResponse, EvalResponse]:
+        if isinstance(pending.request, EvalRequest):
+            return EvalResponse("cancelled", pending.key,
+                                error="cancelled by client")
+        return SolveResponse("cancelled", pending.key,
+                             error="cancelled by client")
 
     # -- batch flush (batcher thread) ----------------------------------------
 
@@ -987,6 +1113,7 @@ class AssertService:
         # never computed at all — a queued cancel or expiry saves its
         # compute entirely.
         groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
+        eval_groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
         picked = time.perf_counter()
         for pending in batch:
             if pending.future.done():
@@ -997,10 +1124,13 @@ class AssertService:
                     pending.queue_span.end()
                 pending.batch_span = obs_trace.begin("batch.wait",
                                                      parent=pending.span)
-            groups.setdefault(pending.key, []).append(pending)
+            target = (eval_groups if isinstance(pending.request, EvalRequest)
+                      else groups)
+            target.setdefault(pending.key, []).append(pending)
 
         dedup_extra = (sum(len(waiters) for waiters in groups.values())
-                       - len(groups))
+                       + sum(len(waiters) for waiters in eval_groups.values())
+                       - len(groups) - len(eval_groups))
         misses: List[str] = []
         for key, waiters in groups.items():
             cached = self._cache.get(key) if self._cache is not None else None
@@ -1045,7 +1175,7 @@ class AssertService:
                 # response delivered late just because the timer thread
                 # has not been scheduled yet.
                 if pending.expiry is not None and now > pending.expiry:
-                    self._finish(pending, self._timeout_response(key))
+                    self._finish(pending, self._timeout_response_for(pending))
                 else:
                     self._finish(pending, response)
         # Write-through last: a disk-backed cache put (pickle + rename +
@@ -1063,6 +1193,46 @@ class AssertService:
                 report = response.coverage.get("report")
                 if report:
                     self.cov_buffer.record(report)
+
+        # Evals after solves: solves are the latency-sensitive traffic.
+        # One compute per unique key serves every deduped waiter; repeats
+        # across batches recompute only the aggregation — the per-case
+        # outcomes come back from the store's eval/v1 memo.  Deliberately
+        # NOT ResultCache'd: the response depends on which object is
+        # registered under the model *name*, which a shared store cannot
+        # see, whereas the per-case memo keys on the model's digest.
+        for key, waiters in eval_groups.items():
+            try:
+                response = self._run_eval(waiters[0].request, key)
+            except BaseException as exc:  # noqa: BLE001
+                for pending in waiters:
+                    self._fail(pending, exc)
+                continue
+            now = time.monotonic()
+            for pending in waiters:
+                if pending.expiry is not None and now > pending.expiry:
+                    self._finish(pending, self._timeout_response_for(pending))
+                else:
+                    self._finish(pending, response)
+
+    def _run_eval(self, request: EvalRequest, key: str) -> EvalResponse:
+        """Resolve one unique eval key (batcher thread)."""
+        with self._lock:
+            entry = self._models.get(request.model)
+        if entry is None:
+            return EvalResponse(
+                "unknown_model", key,
+                error=f"no registered model named {request.model!r}")
+        model, _digest = entry
+        from repro.eval.runner import run_eval
+
+        report = run_eval(model, request.cases, request.config,
+                          engine=self._engine, store=self._store)
+        with self._lock:
+            self._evals += 1
+            self._eval_cases += report.stats.get("cases", 0)
+            self._eval_memo_hits += report.stats.get("memo_hits", 0)
+        return EvalResponse("ok", key, report=report)
 
     # -- reporting -----------------------------------------------------------
 
@@ -1084,6 +1254,9 @@ class AssertService:
             stats.compile_errors = self._compile_errors
             stats.timeouts = self._timeouts
             stats.cancelled = self._cancelled
+            stats.evals = self._evals
+            stats.eval_cases = self._eval_cases
+            stats.eval_memo_hits = self._eval_memo_hits
             stats.inflight = max(
                 0, self._submitted - self._completed - self._errors)
         if self._cache is not None:

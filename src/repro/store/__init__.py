@@ -27,6 +27,7 @@ across runs, processes, and service instances sound.
 
 from repro.store.base import (
     NS_COMPILE,
+    NS_EVAL,
     NS_SERVE,
     NS_STAGE,
     ArtifactStore,
@@ -40,6 +41,7 @@ from repro.store.tiered import TieredStore
 
 __all__ = [
     "NS_COMPILE",
+    "NS_EVAL",
     "NS_SERVE",
     "NS_STAGE",
     "ArtifactStore",

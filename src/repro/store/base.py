@@ -38,6 +38,7 @@ from repro.engine import metrics as engine_metrics
 NS_COMPILE = "compile/v1"
 NS_SERVE = "serve/v1"
 NS_STAGE = "stage/v1"
+NS_EVAL = "eval/v1"
 
 _NAMESPACE_RE = re.compile(r"[a-z0-9_]+(/[a-z0-9_]+)*")
 _KEY_RE = re.compile(r"[0-9a-f]{8,128}")

@@ -1,16 +1,28 @@
 """Evaluation layer: pass@k estimator properties, runner, buckets, reports."""
 
+import json
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.baselines.engine import make_baseline
 from repro.baselines.profiles import case_difficulty, get_profile
 from repro.eval.buckets import bucket_pass_at, bug_type_buckets, length_buckets
+from repro.eval.cases import case_digest, cases_from_json, cases_to_json
+from repro.eval.config import EvalConfig
 from repro.eval.histogram import extremity_mass, histogram_series
 from repro.eval.passk import aggregate_pass_at_k, pass_at_k
+from repro.eval.report import EvalReport
 from repro.eval.reporting import render_table1, render_table3, render_table4
-from repro.eval.runner import evaluate_model, is_correct
+from repro.eval.runner import (
+    eval_memo_key,
+    evaluate_model,
+    is_correct,
+    model_digest,
+    run_eval,
+)
 from repro.model.assertsolver import SolverResponse
+from repro.store import NS_EVAL, MemoryStore
 
 
 class TestPassAtK:
@@ -259,6 +271,235 @@ class TestBaselines:
         case = small_bundle.sva_eval_machine[0]
         responses = model.generate_case(case, n=40)
         assert any(r.fix == "<malformed response>" for r in responses)
+
+
+class TestEvalConfig:
+    def test_defaults_match_legacy_positional_knobs(self):
+        config = EvalConfig()
+        assert (config.n_samples, config.seed) == (20, 123)
+        assert config.k_values == (1, 5)
+        assert config.semantic_check is False
+        assert config.deadline_ms is None
+
+    def test_list_k_values_coerced_to_tuple(self):
+        assert EvalConfig(k_values=[1, 5, 10]).k_values == (1, 5, 10)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_samples": 0},
+        {"n_samples": 2.5},
+        {"n_samples": True},
+        {"seed": "x"},
+        {"k_values": ()},
+        {"k_values": (0,)},
+        {"k_values": (5, 1)},
+        {"k_values": (1, 1)},
+        {"semantic_check": 1},
+        {"deadline_ms": 0},
+        {"deadline_ms": -5.0},
+    ])
+    def test_malformed_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EvalConfig(**kwargs)
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(TypeError):
+            EvalConfig(samples=4)
+
+    def test_digest_stable_across_instances(self):
+        assert EvalConfig(n_samples=6, seed=9).semantic_digest() == \
+               EvalConfig(n_samples=6, seed=9).semantic_digest()
+
+    def test_digest_tracks_scoring_knobs(self):
+        base = EvalConfig(n_samples=6, seed=9)
+        assert base.semantic_digest() != \
+               EvalConfig(n_samples=7, seed=9).semantic_digest()
+        assert base.semantic_digest() != \
+               EvalConfig(n_samples=6, seed=10).semantic_digest()
+        assert base.semantic_digest() != \
+               EvalConfig(n_samples=6, seed=9,
+                          semantic_check=True).semantic_digest()
+
+    def test_digest_ignores_aggregation_and_qos_knobs(self):
+        base = EvalConfig(n_samples=6, seed=9)
+        assert base.semantic_digest() == \
+               EvalConfig(n_samples=6, seed=9,
+                          k_values=(1, 2, 3)).semantic_digest()
+        assert base.semantic_digest() == \
+               EvalConfig(n_samples=6, seed=9,
+                          deadline_ms=250.0).semantic_digest()
+
+    def test_canonical_excludes_deadline(self):
+        assert EvalConfig(deadline_ms=100.0).canonical() == \
+               EvalConfig().canonical()
+
+
+class TestCaseCodec:
+    def test_round_trip_preserves_digests(self, small_bundle):
+        cases = small_bundle.sva_eval_machine
+        restored = cases_from_json(cases_to_json(cases))
+        assert [case_digest(c) for c in restored] == \
+               [case_digest(c) for c in cases]
+
+    def test_round_trip_scores_identically(self, small_bundle,
+                                           trained_models):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        config = EvalConfig(n_samples=4, seed=5)
+        original = run_eval(sft, cases, config=config)
+        restored = run_eval(sft, cases_from_json(cases_to_json(cases)),
+                            config=config)
+        assert restored.to_json() == original.to_json()
+
+
+class TestEvalMemo:
+    def test_cold_then_warm_is_byte_identical(self, small_bundle,
+                                              trained_models):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        config = EvalConfig(n_samples=4, seed=5)
+        store = MemoryStore()
+        cold = run_eval(sft, cases, config=config, store=store)
+        assert cold.stats == {"cases": len(cases), "memo_hits": 0,
+                              "computed": len(cases)}
+        warm = run_eval(sft, cases, config=config, store=store)
+        assert warm.stats == {"cases": len(cases),
+                              "memo_hits": len(cases), "computed": 0}
+        assert warm.to_json() == cold.to_json()
+
+    def test_warm_process_pool_matches_serial_cold(self, small_bundle,
+                                                   trained_models):
+        from repro.engine import ExecutionEngine
+
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        config = EvalConfig(n_samples=4, seed=5)
+        store = MemoryStore()
+        cold = run_eval(sft, cases, config=config, store=store)
+        with ExecutionEngine(n_workers=2, backend="process") as engine:
+            warm = run_eval(sft, cases, config=config, engine=engine,
+                            store=store)
+        assert warm.stats["computed"] == 0
+        assert warm.to_json() == cold.to_json()
+
+    def test_new_cases_recompute_only_the_new(self, small_bundle,
+                                              trained_models):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        assert len(cases) >= 2
+        config = EvalConfig(n_samples=4, seed=5)
+        store = MemoryStore()
+        run_eval(sft, cases[:-1], config=config, store=store)
+        grown = run_eval(sft, cases, config=config, store=store)
+        assert grown.stats == {"cases": len(cases),
+                               "memo_hits": len(cases) - 1, "computed": 1}
+
+    @pytest.mark.parametrize("override", [
+        {"seed": 6}, {"n_samples": 5},
+    ])
+    def test_scoring_knob_change_invalidates(self, small_bundle,
+                                             trained_models, override):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        store = MemoryStore()
+        run_eval(sft, cases, config=EvalConfig(n_samples=4, seed=5),
+                 store=store)
+        changed = run_eval(sft, cases,
+                           config=EvalConfig(**{"n_samples": 4, "seed": 5,
+                                                **override}),
+                           store=store)
+        assert changed.stats["memo_hits"] == 0
+        assert changed.stats["computed"] == len(cases)
+
+    def test_model_change_invalidates(self, small_bundle, trained_models):
+        base, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        config = EvalConfig(n_samples=4, seed=5)
+        store = MemoryStore()
+        run_eval(sft, cases, config=config, store=store)
+        other = run_eval(base, cases, config=config, store=store)
+        assert other.stats["memo_hits"] == 0
+
+    def test_k_values_change_hits_every_outcome(self, small_bundle,
+                                                trained_models):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        store = MemoryStore()
+        run_eval(sft, cases, config=EvalConfig(n_samples=4, seed=5),
+                 store=store)
+        rescored = run_eval(sft, cases,
+                            config=EvalConfig(n_samples=4, seed=5,
+                                              k_values=(1, 2, 3)),
+                            store=store)
+        assert rescored.stats == {"cases": len(cases),
+                                  "memo_hits": len(cases), "computed": 0}
+        assert list(rescored.k_values) == [1, 2, 3]
+
+    def test_memo_artifacts_live_under_eval_namespace(self, small_bundle,
+                                                      trained_models):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        config = EvalConfig(n_samples=4, seed=5)
+        store = MemoryStore()
+        run_eval(sft, cases, config=config, store=store)
+        digest = model_digest(sft)
+        key = eval_memo_key(case_digest(cases[0]), digest, config)
+        stored = store.get(NS_EVAL, key)
+        assert isinstance(stored, tuple) and len(stored) == 2
+        assert stored[0] == config.n_samples
+
+    def test_corrupt_memo_entry_recomputed(self, small_bundle,
+                                           trained_models):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        config = EvalConfig(n_samples=4, seed=5)
+        store = MemoryStore()
+        cold = run_eval(sft, cases, config=config, store=store)
+        key = eval_memo_key(case_digest(cases[0]), model_digest(sft), config)
+        store.put(NS_EVAL, key, {"not": "a tuple"})
+        healed = run_eval(sft, cases, config=config, store=store)
+        assert healed.stats["computed"] == 1
+        assert healed.to_json() == cold.to_json()
+
+
+class TestEvalReport:
+    def test_report_json_round_trip_is_byte_stable(self, small_bundle,
+                                                   trained_models):
+        _, sft, _ = trained_models
+        report = run_eval(sft, small_bundle.sva_eval_machine,
+                          config=EvalConfig(n_samples=4, seed=5))
+        assert EvalReport.from_json(report.to_json()).to_json() == \
+               report.to_json()
+
+    def test_report_json_is_canonical(self, small_bundle, trained_models):
+        _, sft, _ = trained_models
+        report = run_eval(sft, small_bundle.sva_eval_machine,
+                          config=EvalConfig(n_samples=4, seed=5))
+        text = report.to_json()
+        assert text == json.dumps(json.loads(text), sort_keys=True)
+
+    def test_empty_origin_returns_none_and_is_omitted(self, small_bundle,
+                                                      trained_models):
+        _, sft, _ = trained_models
+        report = run_eval(sft, small_bundle.sva_eval_machine,
+                          config=EvalConfig(n_samples=4, seed=5))
+        assert report.result.pass_at_origin(1, "human") is None
+        assert "human" not in json.loads(report.to_json())["origins"]
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            EvalReport.from_json(json.dumps({"schema": "eval/v0"}))
+
+
+class TestDeprecatedShim:
+    def test_evaluate_model_warns_and_matches_run_eval(self, small_bundle,
+                                                       trained_models):
+        _, sft, _ = trained_models
+        cases = small_bundle.sva_eval_machine
+        with pytest.warns(DeprecationWarning):
+            legacy = evaluate_model(sft, cases, n=4, seed=5)
+        modern = run_eval(sft, cases, config=EvalConfig(n_samples=4, seed=5))
+        assert [(o.n, o.c) for o in legacy.outcomes] == \
+               [(o.n, o.c) for o in modern.result.outcomes]
 
 
 class TestReporting:

@@ -382,7 +382,7 @@ class TestHealthEjection:
             router.probe()
             status, _, body = post_solve(router, variant(5))
             assert status == 503
-            assert json.loads(body)["error"] == "no healthy backends"
+            assert json.loads(body)["detail"] == "no healthy backends"
             client = AssertClient.for_server(router)
             health = client.healthz()
             assert health["http_status"] == 503
